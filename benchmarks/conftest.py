@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harness.
+
+Every mission-level benchmark reuses a single pair of missions (RoboRun and
+the spatial-oblivious baseline) flown through a reduced-scale environment.
+The paper's environments are 600–1200 m; the reduced scale (120 m, mild
+density) keeps the full benchmark suite runnable in minutes of pure Python
+while preserving the A/B *shape* — which design wins and by roughly what
+factor — that EXPERIMENTS.md records.  Scale the parameters back up for a
+full-fidelity run.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import (  # noqa: E402
+    EnvironmentConfig,
+    EnvironmentGenerator,
+    MissionConfig,
+    MissionSimulator,
+    RoboRunRuntime,
+    SpatialObliviousRuntime,
+)
+
+# Reduced-scale stand-in for the paper's mid-difficulty environment.
+BENCH_ENV = EnvironmentConfig(
+    obstacle_density=0.3, obstacle_spread=40.0, goal_distance=120.0, seed=11
+)
+BENCH_MISSION = MissionConfig(max_decisions=500, max_mission_time_s=1500.0)
+
+
+def run_mission(design: str, env_config: EnvironmentConfig = BENCH_ENV, mission=BENCH_MISSION):
+    """Fly one mission for the named design and return its MissionResult."""
+    env = EnvironmentGenerator().generate(env_config)
+    runtime = RoboRunRuntime() if design == "roborun" else SpatialObliviousRuntime()
+    return MissionSimulator(env, runtime, mission).run()
+
+
+@pytest.fixture(scope="session")
+def mission_pair():
+    """One RoboRun mission and one baseline mission on the shared environment."""
+    return {
+        "roborun": run_mission("roborun"),
+        "spatial_oblivious": run_mission("spatial_oblivious"),
+    }
+
+
+def print_table(title, rows):
+    """Print a small aligned table to stdout (captured with pytest -s)."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("  " + " | ".join(str(item) for item in row))

@@ -1,0 +1,75 @@
+"""Ablations called out in DESIGN.md.
+
+* Global (Algorithm 1) vs local (plain Eq. 1) time budgeting.
+* Solver with the power-of-two precision ladder vs a precision-oblivious
+  fallback (always finest precision).
+"""
+
+from conftest import print_table
+
+from repro.core.budget import TimeBudgeter, WaypointObservation
+from repro.core.solver import KnobSolver
+from repro.core.profilers import SpaceProfile
+from repro.geometry.vec3 import Vec3
+
+
+def _profile(gap, visibility):
+    return SpaceProfile(
+        timestamp=0.0,
+        gap_min=min(gap, 0.6),
+        gap_avg=gap,
+        closest_obstacle=visibility,
+        closest_unknown=visibility,
+        visibility=visibility,
+        sensor_volume=200_000.0,
+        map_volume=50_000.0,
+        velocity=1.5,
+        position=Vec3.zero(),
+        trajectory=None,
+    )
+
+
+def test_ablation_global_vs_local_budget(benchmark):
+    def rows():
+        budgeter = TimeBudgeter()
+        # The drone currently enjoys open space but a tight corridor is coming up.
+        waypoints = [
+            WaypointObservation(0.0, 1.5, 35.0),
+            WaypointObservation(10.0, 2.0, 20.0),
+            WaypointObservation(20.0, 2.5, 5.0),
+        ]
+        local_only = budgeter.local_budget(waypoints[0].velocity, waypoints[0].visibility)
+        global_budget = budgeter.global_budget(waypoints)
+        return [
+            ["policy", "budget (s)"],
+            ["local only (Eq. 1 at W0)", round(local_only, 2)],
+            ["global (Algorithm 1 over W)", round(global_budget, 2)],
+        ]
+
+    table = benchmark(rows)
+    print_table("Ablation: local vs global time budgeting", table)
+    # Algorithm 1 is strictly more conservative when a tight waypoint is ahead.
+    assert table[2][1] < table[1][1]
+
+
+def test_ablation_precision_ladder_vs_finest(benchmark):
+    def rows():
+        solver = KnobSolver()
+        open_profile = _profile(gap=25.0, visibility=40.0)
+        adaptive = solver.solve(5.0, open_profile)
+        finest = solver._fallback_policy(open_profile)
+        finest_latency = solver._predict(finest) + solver.latency_model.fixed_overhead_s
+        return [
+            ["solver", "precision (m)", "predicted latency (s)"],
+            [
+                "adaptive (Eq. 3 over ladder)",
+                adaptive.policy.point_cloud_precision,
+                round(adaptive.predicted_latency, 3),
+            ],
+            ["always-finest fallback", finest.point_cloud_precision, round(finest_latency, 3)],
+        ]
+
+    table = benchmark(rows)
+    print_table("Ablation: adaptive precision ladder vs always-finest", table)
+    assert table[1][1] > table[2][1]  # adaptive picks a coarser precision in open space
+    assert table[1][2] <= table[2][2] + 1e-6

@@ -1,0 +1,69 @@
+"""Figures 3 and 4: high-precision and high-velocity mission traces.
+
+Figure 3 contrasts the spatial-oblivious design's constant worst-case
+precision/volume/latency with the spatial-aware design's adaptive ones on a
+high-precision (warehouse-aisle) mission; Figure 4 does the same for
+velocity/visibility/deadline on a high-velocity mission.  The reduced-scale
+mission pair provides both sets of per-decision traces.
+"""
+
+from conftest import print_table
+
+
+def _summary(traces, key):
+    values = [t.policy[key] if key in t.policy else getattr(t, key) for t in traces]
+    return round(min(values), 3), round(max(values), 3)
+
+
+def test_fig3_high_precision_mission(benchmark, mission_pair):
+    def rows():
+        out = [["design", "precision range (m)", "octomap volume range (m^3)", "latency range (s)"]]
+        for name, result in mission_pair.items():
+            traces = result.traces
+            p_lo, p_hi = _summary(traces, "point_cloud_precision")
+            v_lo, v_hi = _summary(traces, "octomap_volume")
+            l_lo, l_hi = _summary(traces, "end_to_end_latency")
+            out.append([name, f"{p_lo}–{p_hi}", f"{v_lo}–{v_hi}", f"{l_lo}–{l_hi}"])
+        return out
+
+    table = benchmark.pedantic(rows, rounds=1, iterations=1)
+    print_table("Figure 3: precision / volume / latency, oblivious vs aware", table)
+    baseline_traces = mission_pair["spatial_oblivious"].traces
+    roborun_traces = mission_pair["roborun"].traces
+    # Oblivious: constant worst-case precision.  Aware: varies it.
+    assert len({t.policy["point_cloud_precision"] for t in baseline_traces}) == 1
+    assert len({t.policy["point_cloud_precision"] for t in roborun_traces}) > 1
+    # Aware design's finest precision matches the baseline's worst case.
+    assert min(t.policy["point_cloud_precision"] for t in roborun_traces) == 0.3
+
+
+def test_fig4_high_velocity_mission(benchmark, mission_pair):
+    def rows():
+        out = [["design", "velocity cap range (m/s)", "visibility range (m)", "deadline range (s)"]]
+        for name, result in mission_pair.items():
+            traces = result.traces
+            caps = [t.velocity_cap for t in traces]
+            vis = [t.visibility for t in traces]
+            budgets = [t.time_budget for t in traces]
+            out.append(
+                [
+                    name,
+                    f"{round(min(caps),2)}–{round(max(caps),2)}",
+                    f"{round(min(vis),1)}–{round(max(vis),1)}",
+                    f"{round(min(budgets),2)}–{round(max(budgets),2)}",
+                ]
+            )
+        return out
+
+    table = benchmark.pedantic(rows, rounds=1, iterations=1)
+    print_table("Figure 4: velocity / visibility / deadline, oblivious vs aware", table)
+    baseline_traces = mission_pair["spatial_oblivious"].traces
+    roborun_traces = mission_pair["roborun"].traces
+    # Oblivious: one fixed velocity cap and one fixed deadline.
+    assert len({round(t.velocity_cap, 6) for t in baseline_traces}) == 1
+    assert len({round(t.time_budget, 6) for t in baseline_traces}) == 1
+    # Aware: adapts its deadline, and its best velocity cap beats the baseline's.
+    assert len({round(t.time_budget, 3) for t in roborun_traces}) > 1
+    assert max(t.velocity_cap for t in roborun_traces) > max(
+        t.velocity_cap for t in baseline_traces
+    )

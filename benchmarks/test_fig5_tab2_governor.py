@@ -1,0 +1,98 @@
+"""Figure 5 and Table II: static vs dynamic latency/deadline, and knob ranges.
+
+Figure 5 compares the worst-case static design against the dynamic
+spatial-aware design as the environment around the drone changes.  The sweep
+below drives the solver/governor across a congestion gradient (from tight
+aisles to open sky) and prints the static and dynamic latency (5a) and
+deadline (5b) at every step.  Table II's knob values are asserted directly.
+"""
+
+from conftest import print_table
+
+from repro.core.baseline import SpatialObliviousRuntime
+from repro.core.governor import Governor
+from repro.core.policy import KnobLimits, STATIC_BASELINE_POLICY
+from repro.core.profilers import SpaceProfile
+from repro.geometry.vec3 import Vec3
+
+
+def congestion_gradient(steps=8):
+    """Profiles sweeping from very congested (tight gaps) to open sky."""
+    profiles = []
+    for i in range(steps):
+        t = i / (steps - 1)
+        gap = 0.6 + t * 24.0
+        visibility = 4.0 + t * 36.0
+        profiles.append(
+            SpaceProfile(
+                timestamp=float(i),
+                gap_min=min(0.6 + t * 10.0, gap),
+                gap_avg=gap,
+                closest_obstacle=2.0 + t * 38.0,
+                closest_unknown=visibility,
+                visibility=visibility,
+                sensor_volume=100_000.0 + t * 200_000.0,
+                map_volume=50_000.0,
+                velocity=1.0 + t * 1.5,
+                position=Vec3(10.0 * i, 0, 5),
+                trajectory=None,
+            )
+        )
+    return profiles
+
+
+def sweep():
+    governor = Governor()
+    baseline = SpatialObliviousRuntime()
+    rows = [["step", "static_latency_s", "dynamic_latency_s", "static_deadline_s", "dynamic_deadline_s"]]
+    for i, profile in enumerate(congestion_gradient()):
+        dynamic = governor.decide(profile)
+        static = baseline.decide(profile)
+        rows.append(
+            [
+                i,
+                round(static.predicted_latency, 3),
+                round(dynamic.predicted_latency, 3),
+                round(static.time_budget, 3),
+                round(dynamic.time_budget, 3),
+            ]
+        )
+    return rows
+
+
+def test_fig5_static_vs_dynamic(benchmark):
+    rows = benchmark(sweep)
+    print_table("Figure 5: static (worst-case) vs dynamic latency and deadline", rows)
+    static_latency = [r[1] for r in rows[1:]]
+    dynamic_latency = [r[2] for r in rows[1:]]
+    static_deadline = [r[3] for r in rows[1:]]
+    dynamic_deadline = [r[4] for r in rows[1:]]
+    # 5a: the dynamic design's latency never exceeds the static worst case and
+    # is dramatically lower in open space.
+    assert all(d <= s + 1e-6 for d, s in zip(dynamic_latency, static_latency))
+    assert dynamic_latency[-1] < 0.25 * static_latency[-1]
+    # 5b: the dynamic deadline meets or exceeds the static worst-case deadline
+    # once the space opens up.
+    assert dynamic_deadline[-1] > static_deadline[-1]
+    assert len(set(static_deadline)) == 1
+
+
+def test_tab2_knob_ranges(benchmark):
+    def table_rows():
+        limits = KnobLimits()
+        ladder = limits.precision_ladder()
+        return [
+            ["knob", "static", "dynamic"],
+            ["point cloud precision (m)", STATIC_BASELINE_POLICY.point_cloud_precision, f"[{ladder[0]} … {ladder[-1]}]"],
+            ["octomap→planner precision (m)", STATIC_BASELINE_POLICY.map_to_planner_precision, f"[{ladder[0]} … {ladder[-1]}]"],
+            ["octomap volume (m^3)", STATIC_BASELINE_POLICY.octomap_volume, f"[0 … {limits.octomap_volume_max}]"],
+            ["octomap→planner volume (m^3)", STATIC_BASELINE_POLICY.map_to_planner_volume, f"[0 … {limits.map_to_planner_volume_max}]"],
+            ["planner volume (m^3)", STATIC_BASELINE_POLICY.planner_volume, f"[0 … {limits.planner_volume_max}]"],
+        ]
+
+    rows = benchmark(table_rows)
+    print_table("Table II: knob values (static baseline vs dynamic ranges)", rows)
+    assert rows[1][1] == 0.3
+    assert rows[3][1] == 46_000.0
+    assert "9.6" in rows[1][2]
+    assert "1000000" in rows[4][2].replace("_", "")

@@ -1,0 +1,65 @@
+"""Figure 7: mission-level metrics for the two designs.
+
+The paper reports, averaged over 27 environments: 5X velocity, 4.5X mission
+time, 4X energy and a 36% CPU-utilisation reduction in RoboRun's favour.  The
+reduced-scale harness flies one environment pair (see ``conftest.BENCH_ENV``)
+and prints the same four rows; EXPERIMENTS.md records the measured ratios.
+"""
+
+import pytest
+from conftest import print_table
+
+
+def test_fig7_mission_level_metrics(benchmark, mission_pair):
+    def rows():
+        roborun = mission_pair["roborun"].metrics
+        baseline = mission_pair["spatial_oblivious"].metrics
+        def ratio(b, r):
+            return round(b / r, 2) if r > 0 else float("inf")
+        return [
+            ["metric", "spatial_oblivious", "roborun", "improvement"],
+            [
+                "flight velocity (m/s)",
+                round(baseline.mean_velocity_mps, 3),
+                round(roborun.mean_velocity_mps, 3),
+                round(roborun.mean_velocity_mps / max(baseline.mean_velocity_mps, 1e-9), 2),
+            ],
+            [
+                "mission time (s)",
+                round(baseline.mission_time_s, 1),
+                round(roborun.mission_time_s, 1),
+                ratio(baseline.mission_time_s, roborun.mission_time_s),
+            ],
+            [
+                "mission energy (kJ)",
+                round(baseline.energy_j / 1000.0, 1),
+                round(roborun.energy_j / 1000.0, 1),
+                ratio(baseline.energy_j, roborun.energy_j),
+            ],
+            [
+                "CPU utilization",
+                round(baseline.mean_cpu_utilization, 3),
+                round(roborun.mean_cpu_utilization, 3),
+                round(
+                    (baseline.mean_cpu_utilization - roborun.mean_cpu_utilization)
+                    / max(baseline.mean_cpu_utilization, 1e-9),
+                    3,
+                ),
+            ],
+        ]
+
+    table = benchmark.pedantic(rows, rounds=1, iterations=1)
+    print_table("Figure 7: mission-level metrics (reduced-scale environment)", table)
+    roborun = mission_pair["roborun"].metrics
+    baseline = mission_pair["spatial_oblivious"].metrics
+    # Shape: RoboRun finishes the mission no slower than the static baseline
+    # and with a (much) lower median decision latency.  Mean velocity over the
+    # whole path can dip below the baseline's at reduced scale because
+    # RoboRun's replans wander more (see EXPERIMENTS.md); flight time and the
+    # per-zone velocities are the robust mission-level signals.
+    assert roborun.mission_time_s <= baseline.mission_time_s * 1.05
+    assert roborun.median_latency_s < baseline.median_latency_s
+    # Both designs produce decisions and energy follows mission time.
+    assert roborun.decision_count > 0 and baseline.decision_count > 0
+    if roborun.mission_time_s < baseline.mission_time_s:
+        assert roborun.energy_j < baseline.energy_j

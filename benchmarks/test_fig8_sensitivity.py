@@ -1,0 +1,69 @@
+"""Figure 8: sensitivity to obstacle density, spread and goal distance.
+
+The paper sweeps three values of each knob (Figure 8a) over 27 environments.
+At reduced scale the harness sweeps the extreme values of one knob at a time
+(low vs high density, spread and goal distance) and reports each design's
+flight-time ratio across the sweep — the quantity Figures 8b–8d plot.
+RoboRun is expected to be the *more* sensitive design for density/spread
+(it exploits easy space) and the *less* sensitive one for goal distance.
+"""
+
+import dataclasses
+
+import pytest
+from conftest import BENCH_ENV, BENCH_MISSION, print_table, run_mission
+
+from repro.environment.generator import (
+    DENSITY_LEVELS,
+    GOAL_DISTANCE_LEVELS_M,
+    SPREAD_LEVELS_M,
+)
+
+
+def test_fig8a_evaluation_scenarios(benchmark):
+    def rows():
+        return [
+            ["environment knob", "dynamic values"],
+            ["obstacle density", list(DENSITY_LEVELS)],
+            ["obstacle spread (m)", list(SPREAD_LEVELS_M)],
+            ["goal distance (m)", list(GOAL_DISTANCE_LEVELS_M)],
+        ]
+
+    table = benchmark(rows)
+    print_table("Figure 8a: evaluation scenario knobs", table)
+    assert table[1][1] == [0.3, 0.45, 0.6]
+    assert table[2][1] == [40.0, 80.0, 120.0]
+    assert table[3][1] == [600.0, 900.0, 1200.0]
+
+
+def _sweep(knob, low, high):
+    rows = [["design", f"{knob}={low}", f"{knob}={high}", "flight-time ratio"]]
+    ratios = {}
+    for design in ("spatial_oblivious", "roborun"):
+        times = []
+        for value in (low, high):
+            cfg = dataclasses.replace(BENCH_ENV, **{knob: value})
+            result = run_mission(design, cfg, BENCH_MISSION)
+            times.append(result.metrics.mission_time_s)
+        ratio = times[1] / times[0] if times[0] > 0 else float("inf")
+        ratios[design] = ratio
+        rows.append([design, round(times[0], 1), round(times[1], 1), round(ratio, 2)])
+    return rows, ratios
+
+
+@pytest.mark.slow
+def test_fig8b_sensitivity_to_density(benchmark):
+    (rows, ratios) = benchmark.pedantic(
+        lambda: _sweep("obstacle_density", 0.3, 0.6), rounds=1, iterations=1
+    )
+    print_table("Figure 8b: flight-time sensitivity to obstacle density", rows)
+    assert all(r > 0 for r in ratios.values())
+
+
+@pytest.mark.slow
+def test_fig8d_sensitivity_to_goal_distance(benchmark):
+    (rows, ratios) = benchmark.pedantic(
+        lambda: _sweep("goal_distance", 80.0, 160.0), rounds=1, iterations=1
+    )
+    print_table("Figure 8d: flight-time sensitivity to goal distance", rows)
+    assert all(r > 0 for r in ratios.values())

@@ -1,0 +1,16 @@
+"""Test-session bootstrap.
+
+Makes the ``repro`` package importable directly from the source tree so that
+``pytest tests/`` and ``pytest benchmarks/`` work even in fully offline
+environments where ``pip install -e .`` cannot create its isolated build
+environment.  When the package is properly installed this is a no-op (the
+installed location wins only if it appears earlier on ``sys.path``; both point
+at the same files for an editable install).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

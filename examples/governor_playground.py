@@ -1,0 +1,61 @@
+"""Governor playground: inspect the time budget and knob solver directly.
+
+No mission simulation here — this example drives the RoboRun governor with
+hand-written spatial profiles (a congestion gradient from tight warehouse
+aisles to open sky) and prints, for every step, the Table I features it was
+given and the policy it chose: the per-stage precision and volume knobs, the
+decision deadline and the safe velocity.  This is the quickest way to see
+Equation 1, Algorithm 1 and Equation 3 at work.
+
+Run with::
+
+    python examples/governor_playground.py
+"""
+
+from repro import Governor, SpaceProfile
+from repro.geometry.vec3 import Vec3
+
+
+def profile_for(step: int, steps: int) -> SpaceProfile:
+    """A congestion gradient: step 0 is a tight aisle, the last step open sky."""
+    t = step / (steps - 1)
+    gap_avg = 0.8 + t * 24.0
+    visibility = 4.0 + t * 36.0
+    return SpaceProfile(
+        timestamp=float(step),
+        gap_min=min(0.6, gap_avg),
+        gap_avg=gap_avg,
+        closest_obstacle=2.0 + t * 38.0,
+        closest_unknown=visibility,
+        visibility=visibility,
+        sensor_volume=100_000.0 + t * 200_000.0,
+        map_volume=60_000.0,
+        velocity=0.5 + t * 2.0,
+        position=Vec3(step * 10.0, 0.0, 5.0),
+        trajectory=None,
+    )
+
+
+def main() -> None:
+    governor = Governor(max_velocity=2.5)
+    steps = 8
+    print(f"{'step':<6}{'gap_avg':>9}{'visib.':>8}{'budget':>9}{'p0':>6}{'p1':>6}"
+          f"{'v0':>10}{'v2':>10}{'pred.lat':>10}{'vel.cap':>9}")
+    for step in range(steps):
+        profile = profile_for(step, steps)
+        decision = governor.decide(profile)
+        policy = decision.policy
+        print(
+            f"{step:<6}{profile.gap_avg:>9.1f}{profile.visibility:>8.1f}"
+            f"{decision.time_budget:>9.2f}{policy.point_cloud_precision:>6.1f}"
+            f"{policy.map_to_planner_precision:>6.1f}{policy.octomap_volume:>10.0f}"
+            f"{policy.planner_volume:>10.0f}{decision.predicted_latency:>10.3f}"
+            f"{decision.velocity_cap:>9.2f}"
+        )
+    print("\nExpected shape: as the space opens up (left to right), precision"
+          " coarsens, predicted latency collapses and the velocity cap rises to"
+          " the mission maximum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: fly one RoboRun mission and one static-baseline mission.
+
+Generates a small congestion-cluster environment, flies it with both the
+spatial-aware RoboRun runtime and the static spatial-oblivious baseline, and
+prints the Figure-7-style mission metrics side by side.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    EnvironmentConfig,
+    EnvironmentGenerator,
+    MissionConfig,
+    MissionSimulator,
+    RoboRunRuntime,
+    SpatialObliviousRuntime,
+)
+
+
+def main() -> None:
+    env_config = EnvironmentConfig(
+        obstacle_density=0.3, obstacle_spread=40.0, goal_distance=120.0, seed=11
+    )
+    mission_config = MissionConfig(max_decisions=500, max_mission_time_s=1500.0)
+
+    print(f"Environment: {env_config.label()}")
+    results = {}
+    for name, runtime in (
+        ("roborun", RoboRunRuntime()),
+        ("spatial_oblivious", SpatialObliviousRuntime()),
+    ):
+        environment = EnvironmentGenerator().generate(env_config)
+        simulator = MissionSimulator(environment, runtime, mission_config)
+        print(f"Flying {name} ...")
+        results[name] = simulator.run()
+
+    print(f"\n{'metric':<28}{'spatial_oblivious':>20}{'roborun':>14}")
+    roborun = results["roborun"].metrics
+    baseline = results["spatial_oblivious"].metrics
+    rows = [
+        ("success", baseline.success, roborun.success),
+        ("mission time (s)", round(baseline.mission_time_s, 1), round(roborun.mission_time_s, 1)),
+        ("mean velocity (m/s)", round(baseline.mean_velocity_mps, 2), round(roborun.mean_velocity_mps, 2)),
+        ("energy (kJ)", round(baseline.energy_j / 1e3, 1), round(roborun.energy_j / 1e3, 1)),
+        ("CPU utilization", round(baseline.mean_cpu_utilization, 3), round(roborun.mean_cpu_utilization, 3)),
+        ("median latency (s)", round(baseline.median_latency_s, 3), round(roborun.median_latency_s, 3)),
+    ]
+    for label, b, r in rows:
+        print(f"{label:<28}{b!s:>20}{r!s:>14}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works in fully offline environments where pip cannot
+create an isolated build environment (no network to fetch build dependencies).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""RoboRun reproduction: a spatial-aware robot runtime (DAC 2021).
+
+The package reproduces "RoboRun: A Robot Runtime to Exploit Spatial
+Heterogeneity" end to end in pure Python: the navigation pipeline
+(point cloud → occupancy octree → RRT* → smoothing → control), the
+middleware substrate the runtime sits in, the drone/energy/compute models the
+evaluation depends on, and — at its centre — the RoboRun governor, profilers
+and operators plus the static spatial-oblivious baseline it is compared
+against.
+
+Quick start::
+
+    from repro import (
+        EnvironmentConfig, EnvironmentGenerator, MissionConfig,
+        MissionSimulator, RoboRunRuntime, SpatialObliviousRuntime,
+    )
+
+    env = EnvironmentGenerator().generate(EnvironmentConfig(goal_distance=150.0))
+    result = MissionSimulator(env, RoboRunRuntime(), MissionConfig()).run()
+    print(result.metrics.mission_time_s, result.metrics.mean_velocity_mps)
+"""
+
+from repro.core.baseline import SpatialObliviousRuntime
+from repro.core.budget import TimeBudgeter
+from repro.core.governor import Governor, GovernorDecision
+from repro.core.operators import OperatorSet
+from repro.core.policy import KnobLimits, KnobPolicy, STATIC_BASELINE_POLICY
+from repro.core.profilers import ProfilerSuite, SpaceProfile
+from repro.core.runtime import RoboRunRuntime
+from repro.core.solver import KnobSolver, SolverResult
+from repro.environment.generator import (
+    EnvironmentConfig,
+    EnvironmentGenerator,
+    GeneratedEnvironment,
+)
+from repro.simulation.metrics import DecisionTrace, MissionMetrics
+from repro.simulation.mission import MissionConfig, MissionResult, MissionSimulator
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "DecisionTrace",
+    "EnvironmentConfig",
+    "EnvironmentGenerator",
+    "GeneratedEnvironment",
+    "Governor",
+    "GovernorDecision",
+    "KnobLimits",
+    "KnobPolicy",
+    "KnobSolver",
+    "MissionConfig",
+    "MissionMetrics",
+    "MissionResult",
+    "MissionSimulator",
+    "OperatorSet",
+    "ProfilerSuite",
+    "RoboRunRuntime",
+    "STATIC_BASELINE_POLICY",
+    "SolverResult",
+    "SpaceProfile",
+    "SpatialObliviousRuntime",
+    "TimeBudgeter",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Control: trajectory tracking.
+
+"Control ensures that the MAV closely follows the generated trajectory while
+guaranteeing stability.  We use standard PID control" (§III-A).  Control is
+not a RoboRun knob — neither precision nor volume operators touch it — so the
+reproduction provides a straightforward cascaded PID position/velocity
+controller adequate for tracking the smoother's trajectories on the kinematic
+drone model.
+"""
+
+from repro.control.flight_controller import FlightController
+from repro.control.follower import PurePursuitFollower
+from repro.control.pid import PIDController, PIDGains, Vec3PID
+
+__all__ = [
+    "FlightController",
+    "PIDController",
+    "PIDGains",
+    "PurePursuitFollower",
+    "Vec3PID",
+]

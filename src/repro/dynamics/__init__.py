@@ -1,0 +1,22 @@
+"""Drone dynamics and energy.
+
+The AirSim/Unreal physics substrate is replaced by a kinematic quadrotor
+model with acceleration-limited velocity tracking, the paper's quadratic
+stopping-distance model (Eq. 2) and a hover-dominated power model.  The paper
+notes that "flight energy is highly correlated with flight time, as propellers
+consume large amounts of energy even when hovering" and that "compute consumes
+less than 0.05% of the overall MAV's energy" (§V-A) — the energy model encodes
+exactly that structure so the 4X energy improvement emerges from the 4.5X
+mission-time improvement rather than from compute power savings.
+"""
+
+from repro.dynamics.drone import DroneState, QuadrotorKinematics
+from repro.dynamics.energy import EnergyModel
+from repro.dynamics.stopping import StoppingDistanceModel
+
+__all__ = [
+    "DroneState",
+    "EnergyModel",
+    "QuadrotorKinematics",
+    "StoppingDistanceModel",
+]

@@ -1,0 +1,23 @@
+"""Synthetic 3-D environments.
+
+The paper evaluates RoboRun inside Unreal/AirSim worlds produced by an
+"environment generator" that controls obstacle density, obstacle spread and
+goal distance to create 27 environments of varying difficulty (§IV).  This
+package is the offline substitute: axis-aligned box obstacles placed by a
+Gaussian congestion-cluster generator, plus the spatial queries the runtime
+needs — nearest obstacle, visibility along a heading, gap statistics between
+obstacles and per-zone congestion levels.
+"""
+
+from repro.environment.generator import EnvironmentConfig, EnvironmentGenerator
+from repro.environment.world import Obstacle, World
+from repro.environment.zones import Zone, ZoneMap
+
+__all__ = [
+    "EnvironmentConfig",
+    "EnvironmentGenerator",
+    "Obstacle",
+    "World",
+    "Zone",
+    "ZoneMap",
+]

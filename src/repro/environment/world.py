@@ -1,0 +1,272 @@
+"""The obstacle world.
+
+A :class:`World` is a bounded 3-D region containing axis-aligned box
+obstacles.  It provides the spatial queries that both the simulated sensors
+and RoboRun's profilers rely on:
+
+* occupancy tests and segment collision checks (planner collision checking);
+* distance to the nearest obstacle (drives the precision demand near
+  obstacles, Table I "closest obstacle");
+* visibility along a heading (the space-visibility feature of §II-A);
+* local obstacle density and gap statistics (drive the precision constraint
+  ``g_min <= p_0 <= min(p_1, g_avg, d_obs)`` of Eq. 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry.aabb import AABB
+from repro.geometry.ray import Ray, ray_aabb_intersect, segment_intersects_aabb
+from repro.geometry.vec3 import Vec3
+
+
+@dataclass(frozen=True, slots=True)
+class Obstacle:
+    """A static, axis-aligned box obstacle."""
+
+    box: AABB
+    name: str = "obstacle"
+
+    @property
+    def center(self) -> Vec3:
+        """Obstacle centre point."""
+        return self.box.center
+
+    def distance_to(self, point: Vec3) -> float:
+        """Distance from the obstacle surface to a point (0 when inside)."""
+        return self.box.distance_to_point(point)
+
+
+class World:
+    """A bounded region populated with box obstacles.
+
+    The world uses a coarse 2-D spatial hash over the x-y plane to keep
+    nearest-obstacle and collision queries fast even with hundreds of
+    obstacles; drones fly well above or below obstacles rarely enough in the
+    paper's warehouse scenarios that a 2-D bucketing is an effective filter.
+    """
+
+    def __init__(
+        self,
+        bounds: AABB,
+        obstacles: Optional[Iterable[Obstacle]] = None,
+        hash_cell: float = 20.0,
+    ) -> None:
+        if hash_cell <= 0:
+            raise ValueError("spatial hash cell size must be positive")
+        self.bounds = bounds
+        self._hash_cell = hash_cell
+        self._obstacles: List[Obstacle] = []
+        self._hash: dict[Tuple[int, int], List[int]] = {}
+        for obstacle in obstacles or []:
+            self.add_obstacle(obstacle)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_obstacle(self, obstacle: Obstacle) -> None:
+        """Add an obstacle, indexing it in the spatial hash."""
+        index = len(self._obstacles)
+        self._obstacles.append(obstacle)
+        for key in self._hash_keys_for_box(obstacle.box):
+            self._hash.setdefault(key, []).append(index)
+
+    def _hash_keys_for_box(self, box: AABB) -> Iterable[Tuple[int, int]]:
+        x0 = int(math.floor(box.min_corner.x / self._hash_cell))
+        x1 = int(math.floor(box.max_corner.x / self._hash_cell))
+        y0 = int(math.floor(box.min_corner.y / self._hash_cell))
+        y1 = int(math.floor(box.max_corner.y / self._hash_cell))
+        for ix in range(x0, x1 + 1):
+            for iy in range(y0, y1 + 1):
+                yield (ix, iy)
+
+    def _candidate_indices(self, point: Vec3, radius: float) -> List[int]:
+        x0 = int(math.floor((point.x - radius) / self._hash_cell))
+        x1 = int(math.floor((point.x + radius) / self._hash_cell))
+        y0 = int(math.floor((point.y - radius) / self._hash_cell))
+        y1 = int(math.floor((point.y + radius) / self._hash_cell))
+        seen: set[int] = set()
+        result: List[int] = []
+        for ix in range(x0, x1 + 1):
+            for iy in range(y0, y1 + 1):
+                for idx in self._hash.get((ix, iy), ()):
+                    if idx not in seen:
+                        seen.add(idx)
+                        result.append(idx)
+        return result
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def obstacles(self) -> Sequence[Obstacle]:
+        """All obstacles in insertion order."""
+        return tuple(self._obstacles)
+
+    def obstacles_near(self, point: Vec3, radius: float) -> List[Obstacle]:
+        """Obstacles whose spatial-hash cells fall within ``radius`` of a point.
+
+        This is a broad-phase filter (it may return obstacles slightly beyond
+        the radius) used by the simulated depth cameras to avoid testing every
+        obstacle in the world against every ray.
+        """
+        return [self._obstacles[idx] for idx in self._candidate_indices(point, radius)]
+
+    def obstacle_count(self) -> int:
+        """Number of obstacles."""
+        return len(self._obstacles)
+
+    # ------------------------------------------------------------------
+    # Occupancy / collision
+    # ------------------------------------------------------------------
+    def is_occupied(self, point: Vec3, margin: float = 0.0) -> bool:
+        """True when a point is inside (or within ``margin`` of) an obstacle."""
+        for idx in self._candidate_indices(point, margin + self._hash_cell):
+            obstacle = self._obstacles[idx]
+            if margin == 0.0:
+                if obstacle.box.contains(point):
+                    return True
+            elif obstacle.box.expanded(margin).contains(point):
+                return True
+        return False
+
+    def is_inside_bounds(self, point: Vec3) -> bool:
+        """True when the point lies inside the world bounds."""
+        return self.bounds.contains(point)
+
+    def segment_collides(self, start: Vec3, end: Vec3, margin: float = 0.0) -> bool:
+        """True when the straight segment hits any obstacle (inflated by margin)."""
+        mid = start.lerp(end, 0.5)
+        radius = start.distance_to(end) * 0.5 + margin + self._hash_cell
+        for idx in self._candidate_indices(mid, radius):
+            box = self._obstacles[idx].box
+            if margin > 0.0:
+                box = box.expanded(margin)
+            if segment_intersects_aabb(start, end, box):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Spatial features (the paper's four heterogeneity features live here)
+    # ------------------------------------------------------------------
+    def nearest_obstacle_distance(self, point: Vec3, search_radius: float = 200.0) -> float:
+        """Distance to the closest obstacle surface.
+
+        Returns ``search_radius`` when no obstacle lies within the radius,
+        which mirrors the "no nearby threat" saturation the profilers use.
+        """
+        best = search_radius
+        for idx in self._candidate_indices(point, search_radius):
+            d = self._obstacles[idx].distance_to(point)
+            if d < best:
+                best = d
+        return best
+
+    def visibility_along(self, origin: Vec3, direction: Vec3, max_range: float) -> float:
+        """Unobstructed distance along ``direction`` before hitting an obstacle.
+
+        This is the paper's space-visibility feature: the further the drone
+        can see, the longer its decision deadline can be (Figure 2b).  The
+        returned value is clamped to ``max_range`` (sensor range / weather).
+        """
+        if max_range <= 0:
+            return 0.0
+        if direction.norm_sq() == 0.0:
+            return max_range
+        ray = Ray(origin, direction.normalized())
+        nearest = max_range
+        probe_point = origin + direction.normalized() * (max_range * 0.5)
+        for idx in self._candidate_indices(probe_point, max_range):
+            hit = ray_aabb_intersect(ray, self._obstacles[idx].box)
+            if hit is None:
+                continue
+            t_enter, t_exit = hit
+            if t_exit < 0:
+                continue
+            entry = max(t_enter, 0.0)
+            if entry < nearest:
+                nearest = entry
+        return min(nearest, max_range)
+
+    def obstacle_density(self, point: Vec3, radius: float) -> float:
+        """Fraction of the sampling disc around ``point`` occupied by obstacles.
+
+        Matches the generator's definition: "obstacle density determines the
+        ratio of occupied cells around a grid cell" (§IV).  Estimated by
+        sampling a coarse 2-D grid at the drone's altitude.
+        """
+        if radius <= 0:
+            raise ValueError("density radius must be positive")
+        step = max(radius / 8.0, 0.5)
+        total = 0
+        occupied = 0
+        x = point.x - radius
+        while x <= point.x + radius:
+            y = point.y - radius
+            while y <= point.y + radius:
+                if math.hypot(x - point.x, y - point.y) <= radius:
+                    total += 1
+                    if self.is_occupied(Vec3(x, y, point.z)):
+                        occupied += 1
+                y += step
+            x += step
+        if total == 0:
+            return 0.0
+        return occupied / total
+
+    def gap_statistics(
+        self, point: Vec3, radius: float
+    ) -> Tuple[float, float]:
+        """Return ``(min_gap, avg_gap)`` between obstacles near a point.
+
+        The gap between two obstacles is the surface-to-surface distance
+        between their boxes.  Only obstacles within ``radius`` of the query
+        point participate.  When fewer than two obstacles are nearby, both
+        statistics saturate at ``radius`` — an "open sky" answer that lets
+        the solver relax precision all the way to its upper bound.
+        """
+        nearby = [
+            self._obstacles[idx]
+            for idx in self._candidate_indices(point, radius)
+            if self._obstacles[idx].distance_to(point) <= radius
+        ]
+        if len(nearby) < 2:
+            return (radius, radius)
+        gaps: List[float] = []
+        for i in range(len(nearby)):
+            best = math.inf
+            for j in range(len(nearby)):
+                if i == j:
+                    continue
+                gap = _box_gap(nearby[i].box, nearby[j].box)
+                if gap < best:
+                    best = gap
+            if math.isfinite(best):
+                gaps.append(best)
+        if not gaps:
+            return (radius, radius)
+        return (min(gaps), sum(gaps) / len(gaps))
+
+    def free_space_ratio_along(
+        self, start: Vec3, end: Vec3, samples: int = 50
+    ) -> float:
+        """Fraction of sample points along a segment that are obstacle-free."""
+        if samples < 1:
+            raise ValueError("need at least one sample")
+        free = 0
+        for i in range(samples):
+            t = i / max(samples - 1, 1)
+            if not self.is_occupied(start.lerp(end, t)):
+                free += 1
+        return free / samples
+
+
+def _box_gap(a: AABB, b: AABB) -> float:
+    """Surface-to-surface distance between two boxes (0 when overlapping)."""
+    dx = max(0.0, max(a.min_corner.x - b.max_corner.x, b.min_corner.x - a.max_corner.x))
+    dy = max(0.0, max(a.min_corner.y - b.max_corner.y, b.min_corner.y - a.max_corner.y))
+    dz = max(0.0, max(a.min_corner.z - b.max_corner.z, b.min_corner.z - a.max_corner.z))
+    return math.sqrt(dx * dx + dy * dy + dz * dz)

@@ -1,0 +1,35 @@
+"""Geometric primitives shared by every substrate in the RoboRun reproduction.
+
+The paper's pipeline operates on 3-D space: point clouds from depth cameras,
+voxelised occupancy maps (OctoMap), ray casting for map insertion and
+collision checking, and field-of-view frustums that bound the volume of space
+a sensor can observe.  This package provides those primitives:
+
+* :class:`~repro.geometry.vec3.Vec3` — an immutable 3-D vector.
+* :class:`~repro.geometry.aabb.AABB` — axis-aligned bounding boxes.
+* :class:`~repro.geometry.ray.Ray` and
+  :func:`~repro.geometry.ray.traverse_voxels` — Amanatides–Woo voxel
+  traversal used by the OctoMap ray-caster and the planner's collision
+  checker.
+* :class:`~repro.geometry.grid.VoxelGrid` — a uniform grid index used by the
+  point-cloud precision operator.
+* :class:`~repro.geometry.frustum.Frustum` — a camera viewing frustum used by
+  the sensor models and the space-volume profilers.
+"""
+
+from repro.geometry.aabb import AABB
+from repro.geometry.frustum import Frustum
+from repro.geometry.grid import VoxelGrid, voxel_key
+from repro.geometry.ray import Ray, ray_aabb_intersect, traverse_voxels
+from repro.geometry.vec3 import Vec3
+
+__all__ = [
+    "AABB",
+    "Frustum",
+    "Ray",
+    "Vec3",
+    "VoxelGrid",
+    "ray_aabb_intersect",
+    "traverse_voxels",
+    "voxel_key",
+]

@@ -1,0 +1,190 @@
+"""Axis-aligned bounding boxes.
+
+AABBs describe obstacles in the synthetic environment, the bounds of the
+occupancy map, camera frustum bounds and the volume windows enforced by the
+volume operators.  Volumes throughout the reproduction are reported in cubic
+metres to match the paper's knob tables (Table II uses m^3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.geometry.vec3 import Vec3
+
+
+@dataclass(frozen=True, slots=True)
+class AABB:
+    """An axis-aligned box defined by its minimum and maximum corners.
+
+    The box is considered to contain points with ``min <= p <= max``
+    (closed on both ends), which matches how the occupancy grid treats voxel
+    boundaries.
+    """
+
+    min_corner: Vec3
+    max_corner: Vec3
+
+    def __post_init__(self) -> None:
+        if (
+            self.min_corner.x > self.max_corner.x
+            or self.min_corner.y > self.max_corner.y
+            or self.min_corner.z > self.max_corner.z
+        ):
+            raise ValueError(
+                f"AABB min corner {self.min_corner} exceeds max corner {self.max_corner}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_center(center: Vec3, size: Vec3) -> "AABB":
+        """Build a box from its centre and full edge lengths."""
+        half = size * 0.5
+        return AABB(center - half, center + half)
+
+    @staticmethod
+    def from_points(points: Iterable[Vec3]) -> "AABB":
+        """Return the tightest box containing every point."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot build an AABB from zero points")
+        lo = pts[0]
+        hi = pts[0]
+        for p in pts[1:]:
+            lo = lo.elementwise_min(p)
+            hi = hi.elementwise_max(p)
+        return AABB(lo, hi)
+
+    @staticmethod
+    def cube(center: Vec3, edge: float) -> "AABB":
+        """Build an axis-aligned cube of the given edge length."""
+        return AABB.from_center(center, Vec3(edge, edge, edge))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def center(self) -> Vec3:
+        """The centre point of the box."""
+        return (self.min_corner + self.max_corner) * 0.5
+
+    @property
+    def size(self) -> Vec3:
+        """Edge lengths along each axis."""
+        return self.max_corner - self.min_corner
+
+    @property
+    def volume(self) -> float:
+        """Volume in cubic metres."""
+        s = self.size
+        return s.x * s.y * s.z
+
+    @property
+    def surface_area(self) -> float:
+        """Total surface area."""
+        s = self.size
+        return 2.0 * (s.x * s.y + s.y * s.z + s.z * s.x)
+
+    def corners(self) -> List[Vec3]:
+        """The eight corner points."""
+        lo, hi = self.min_corner, self.max_corner
+        return [
+            Vec3(x, y, z)
+            for x in (lo.x, hi.x)
+            for y in (lo.y, hi.y)
+            for z in (lo.z, hi.z)
+        ]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def contains(self, point: Vec3) -> bool:
+        """True when the point lies inside or on the boundary of the box."""
+        lo, hi = self.min_corner, self.max_corner
+        return (
+            lo.x <= point.x <= hi.x
+            and lo.y <= point.y <= hi.y
+            and lo.z <= point.z <= hi.z
+        )
+
+    def contains_box(self, other: "AABB") -> bool:
+        """True when ``other`` lies entirely within this box."""
+        return self.contains(other.min_corner) and self.contains(other.max_corner)
+
+    def intersects(self, other: "AABB") -> bool:
+        """True when the two boxes overlap (sharing a face counts)."""
+        return (
+            self.min_corner.x <= other.max_corner.x
+            and self.max_corner.x >= other.min_corner.x
+            and self.min_corner.y <= other.max_corner.y
+            and self.max_corner.y >= other.min_corner.y
+            and self.min_corner.z <= other.max_corner.z
+            and self.max_corner.z >= other.min_corner.z
+        )
+
+    def intersection(self, other: "AABB") -> Optional["AABB"]:
+        """The overlapping box, or ``None`` when the boxes are disjoint."""
+        lo = self.min_corner.elementwise_max(other.min_corner)
+        hi = self.max_corner.elementwise_min(other.max_corner)
+        if lo.x > hi.x or lo.y > hi.y or lo.z > hi.z:
+            return None
+        return AABB(lo, hi)
+
+    def union(self, other: "AABB") -> "AABB":
+        """The smallest box containing both boxes."""
+        return AABB(
+            self.min_corner.elementwise_min(other.min_corner),
+            self.max_corner.elementwise_max(other.max_corner),
+        )
+
+    def expanded(self, margin: float) -> "AABB":
+        """Return a copy grown by ``margin`` metres on every side."""
+        m = Vec3(margin, margin, margin)
+        return AABB(self.min_corner - m, self.max_corner + m)
+
+    def closest_point(self, point: Vec3) -> Vec3:
+        """The point inside the box closest to ``point``."""
+        return point.clamp(self.min_corner, self.max_corner)
+
+    def distance_to_point(self, point: Vec3) -> float:
+        """Euclidean distance from the box surface to the point (0 if inside)."""
+        return self.closest_point(point).distance_to(point)
+
+    def clamp_point(self, point: Vec3) -> Vec3:
+        """Alias of :meth:`closest_point`, kept for call-site readability."""
+        return self.closest_point(point)
+
+    def sample_grid(self, step: float) -> Iterator[Vec3]:
+        """Yield points on a regular grid with the given spacing.
+
+        Used by tests and the environment analyser to rasterise obstacle
+        occupancy at a configurable precision.
+        """
+        if step <= 0:
+            raise ValueError("grid step must be positive")
+        x = self.min_corner.x
+        while x <= self.max_corner.x + 1e-12:
+            y = self.min_corner.y
+            while y <= self.max_corner.y + 1e-12:
+                z = self.min_corner.z
+                while z <= self.max_corner.z + 1e-12:
+                    yield Vec3(x, y, z)
+                    z += step
+                y += step
+            x += step
+
+    def split_octants(self) -> Tuple["AABB", ...]:
+        """Split the box into its eight octants (used by the octree)."""
+        c = self.center
+        lo, hi = self.min_corner, self.max_corner
+        octants = []
+        for xs in ((lo.x, c.x), (c.x, hi.x)):
+            for ys in ((lo.y, c.y), (c.y, hi.y)):
+                for zs in ((lo.z, c.z), (c.z, hi.z)):
+                    octants.append(
+                        AABB(Vec3(xs[0], ys[0], zs[0]), Vec3(xs[1], ys[1], zs[1]))
+                    )
+        return tuple(octants)

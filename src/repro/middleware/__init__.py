@@ -1,0 +1,38 @@
+"""A deterministic, in-process publish/subscribe middleware.
+
+The paper implements RoboRun "on top of the Robot Operating System (ROS),
+which provides inter-process communication and common robotics libraries"
+(§III-A).  ROS is not available offline, so this package supplies the subset
+RoboRun actually relies on:
+
+* a **simulated clock** (:class:`~repro.middleware.clock.SimClock`) so that
+  per-decision latencies, deadlines and mission time are charged analytically
+  and experiments are exactly reproducible;
+* **topics, messages and nodes**
+  (:mod:`~repro.middleware.topic`, :mod:`~repro.middleware.node`) implementing
+  typed publish/subscribe with latched topics;
+* a **single-threaded executor** (:class:`~repro.middleware.executor.Executor`)
+  that dispatches callbacks deterministically in publication order; and
+* a **latency ledger** (:class:`~repro.middleware.latency.LatencyLedger`)
+  that records the per-stage compute and communication times that Figure 11's
+  latency breakdown is built from.
+"""
+
+from repro.middleware.clock import SimClock
+from repro.middleware.executor import Executor
+from repro.middleware.latency import LatencyLedger, LatencyRecord
+from repro.middleware.message import Header, Message
+from repro.middleware.node import Node
+from repro.middleware.topic import Topic, TopicBus
+
+__all__ = [
+    "Executor",
+    "Header",
+    "LatencyLedger",
+    "LatencyRecord",
+    "Message",
+    "Node",
+    "SimClock",
+    "Topic",
+    "TopicBus",
+]

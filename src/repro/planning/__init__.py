@@ -1,0 +1,35 @@
+"""Planning: piece-wise path planning and smoothing.
+
+The paper's planning stage "generates a collision-free path using two
+kernels: piece-wise planning and path smoothing.  Piece-wise planning
+stochastically samples the map until a collision-free path to the destination
+is found.  We use the RRT* planner from the OMPL library ...  We use Richter
+et al.'s Path Smoothing kernel to modify the piece-wise trajectory to
+incorporate the MAV's dynamic constraints such as maximum velocity" (§III-A).
+
+This package provides both kernels:
+
+* :class:`~repro.planning.rrt_star.RRTStarPlanner` — RRT* over the planner's
+  reduced map view, with the *planner volume monitor* hook ("our volume
+  monitor stops the search upon exceeding the threshold") and a ray-step
+  precision knob on its collision checks.
+* :mod:`~repro.planning.smoothing` — piecewise cubic time-parameterised
+  smoothing with velocity/acceleration limits, standing in for Richter et
+  al.'s polynomial trajectory optimisation.
+* :class:`~repro.planning.trajectory.Trajectory` — the time-parameterised
+  result consumed by the controller and the profilers.
+"""
+
+from repro.planning.rrt_star import PlanResult, RRTStarConfig, RRTStarPlanner
+from repro.planning.smoothing import PathSmoother, SmoothingConfig
+from repro.planning.trajectory import Trajectory, TrajectoryPoint
+
+__all__ = [
+    "PathSmoother",
+    "PlanResult",
+    "RRTStarConfig",
+    "RRTStarPlanner",
+    "SmoothingConfig",
+    "Trajectory",
+    "TrajectoryPoint",
+]

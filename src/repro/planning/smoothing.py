@@ -1,0 +1,234 @@
+"""Path smoothing.
+
+"We use Richter et al.'s Path Smoothing kernel to modify the piece-wise
+trajectory to incorporate the MAV's dynamic constraints such as maximum
+velocity" (§III-A).  Richter's method fits minimum-snap polynomials; the
+behaviour RoboRun depends on is simpler: the piece-wise RRT* path must be
+turned into a time-parameterised trajectory that (a) respects a maximum
+velocity and acceleration, and (b) can be re-timed when the governor changes
+the velocity cap.  :class:`PathSmoother` provides exactly that via shortcut
+simplification, corner-rounding subdivision and a trapezoidal velocity
+profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.geometry.vec3 import Vec3
+from repro.perception.planning_view import PlanningView
+from repro.planning.trajectory import Trajectory, TrajectoryPoint
+
+
+@dataclass(frozen=True, slots=True)
+class SmoothingConfig:
+    """Parameters of the smoothing kernel.
+
+    Attributes:
+        max_velocity: velocity cap applied to the trajectory, m/s.
+        max_acceleration: acceleration cap for the trapezoidal profile, m/s^2.
+        sample_spacing: spatial spacing of the emitted trajectory samples, m.
+        corner_subdivisions: number of intermediate samples inserted when
+            rounding each interior waypoint.
+        shortcut_passes: how many shortcut-simplification passes to run when a
+            planning view is supplied for collision checking.
+    """
+
+    max_velocity: float = 2.5
+    max_acceleration: float = 2.0
+    sample_spacing: float = 2.0
+    corner_subdivisions: int = 3
+    shortcut_passes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_velocity <= 0:
+            raise ValueError("max_velocity must be positive")
+        if self.max_acceleration <= 0:
+            raise ValueError("max_acceleration must be positive")
+        if self.sample_spacing <= 0:
+            raise ValueError("sample_spacing must be positive")
+        if self.corner_subdivisions < 0:
+            raise ValueError("corner_subdivisions cannot be negative")
+
+
+class PathSmoother:
+    """Turns piece-wise waypoint paths into dynamically feasible trajectories."""
+
+    def __init__(self, config: Optional[SmoothingConfig] = None) -> None:
+        self.config = config or SmoothingConfig()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def smooth(
+        self,
+        waypoints: Sequence[Vec3],
+        start_time: float = 0.0,
+        view: Optional[PlanningView] = None,
+        max_velocity: Optional[float] = None,
+        collision_margin: float = 1.0,
+    ) -> Trajectory:
+        """Smooth and time-parameterise a waypoint path.
+
+        Args:
+            waypoints: the piece-wise path from the planner (at least one point).
+            start_time: timestamp of the first trajectory sample.
+            view: optional planning view; when given, shortcut simplification
+                only removes waypoints if the shortcut stays collision-free.
+            max_velocity: velocity cap overriding the configured one — this is
+                how the governor's per-decision velocity choice reaches the
+                trajectory.
+            collision_margin: obstacle inflation used during shortcutting.
+
+        Returns:
+            A time-parameterised trajectory starting at ``start_time``.
+        """
+        if not waypoints:
+            raise ValueError("cannot smooth an empty path")
+        v_max = max_velocity if max_velocity is not None else self.config.max_velocity
+        if v_max <= 0:
+            raise ValueError("max velocity must be positive")
+
+        points = list(waypoints)
+        if len(points) == 1:
+            return Trajectory.hover(points[0], start_time)
+
+        if view is not None:
+            for _ in range(self.config.shortcut_passes):
+                points = self._shortcut(points, view, collision_margin)
+        rounded = self._round_corners(points)
+        # Corner rounding is not collision-checked; if it pulled the path into
+        # an obstacle, fall back to the (already validated) piece-wise path.
+        if view is not None and self._path_collides(rounded, view):
+            rounded = points
+        dense = self._resample(rounded)
+        return self._time_parameterise(dense, start_time, v_max)
+
+    # ------------------------------------------------------------------
+    # Geometric simplification
+    # ------------------------------------------------------------------
+    def _shortcut(
+        self, points: List[Vec3], view: PlanningView, margin: float
+    ) -> List[Vec3]:
+        """Remove interior waypoints whose removal keeps the path collision-free."""
+        if len(points) <= 2:
+            return points
+        result = [points[0]]
+        index = 0
+        while index < len(points) - 1:
+            # Greedily jump to the furthest waypoint reachable in a straight line.
+            next_index = index + 1
+            for candidate in range(len(points) - 1, index, -1):
+                if not view.segment_in_collision(points[index], points[candidate], margin):
+                    next_index = candidate
+                    break
+            result.append(points[next_index])
+            index = next_index
+        return result
+
+    def _round_corners(self, points: List[Vec3]) -> List[Vec3]:
+        """Insert Chaikin-style intermediate points to soften sharp corners."""
+        if len(points) <= 2 or self.config.corner_subdivisions == 0:
+            return points
+        rounded: List[Vec3] = [points[0]]
+        for prev, corner, nxt in zip(points, points[1:], points[2:]):
+            for k in range(1, self.config.corner_subdivisions + 1):
+                t = k / (self.config.corner_subdivisions + 1)
+                before = prev.lerp(corner, 0.5 + 0.5 * t)
+                after = corner.lerp(nxt, 0.5 * t)
+                rounded.append(before.lerp(after, t))
+        rounded.append(points[-1])
+        return rounded
+
+    @staticmethod
+    def _path_collides(points: List[Vec3], view: PlanningView) -> bool:
+        """True when any segment of the path intersects the view's occupied cells."""
+        for a, b in zip(points, points[1:]):
+            if view.segment_in_collision(a, b, margin=0.0):
+                return True
+        return False
+
+    def _resample(self, points: List[Vec3]) -> List[Vec3]:
+        """Resample the path at approximately uniform spatial spacing."""
+        spacing = self.config.sample_spacing
+        dense: List[Vec3] = [points[0]]
+        for a, b in zip(points, points[1:]):
+            segment_length = a.distance_to(b)
+            if segment_length == 0.0:
+                continue
+            steps = max(1, int(math.ceil(segment_length / spacing)))
+            for k in range(1, steps + 1):
+                dense.append(a.lerp(b, k / steps))
+        return dense
+
+    # ------------------------------------------------------------------
+    # Time parameterisation
+    # ------------------------------------------------------------------
+    def _time_parameterise(
+        self, points: List[Vec3], start_time: float, v_max: float
+    ) -> Trajectory:
+        """Assign times using a trapezoidal (accelerate/cruise/brake) profile."""
+        if len(points) == 1:
+            return Trajectory.hover(points[0], start_time)
+
+        cumulative = [0.0]
+        for a, b in zip(points, points[1:]):
+            cumulative.append(cumulative[-1] + a.distance_to(b))
+        total_length = cumulative[-1]
+        if total_length == 0.0:
+            return Trajectory.hover(points[0], start_time)
+
+        a_max = self.config.max_acceleration
+        accel_distance = v_max**2 / (2.0 * a_max)
+        samples: List[TrajectoryPoint] = []
+        time = start_time
+        previous_s = 0.0
+        for index, s in enumerate(cumulative):
+            speed = self._profile_speed(s, total_length, v_max, accel_distance, a_max)
+            if index > 0:
+                ds = s - previous_s
+                # Advance time with the average of the segment's endpoint speeds,
+                # floored to avoid a division blow-up near zero speed.
+                prev_speed = samples[-1].speed
+                mean_speed = max(0.5 * (speed + prev_speed), 0.05 * v_max)
+                time += ds / mean_speed
+            direction = self._direction_at(points, index)
+            samples.append(
+                TrajectoryPoint(time=time, position=points[index], velocity=direction * speed)
+            )
+            previous_s = s
+        return Trajectory(samples)
+
+    @staticmethod
+    def _profile_speed(
+        s: float, total: float, v_max: float, accel_distance: float, a_max: float
+    ) -> float:
+        """Trapezoidal speed as a function of arc length."""
+        if total <= 2.0 * accel_distance:
+            # Triangular profile: never reaches v_max.
+            peak = math.sqrt(a_max * total)
+            half = total / 2.0
+            if s <= half:
+                return math.sqrt(2.0 * a_max * s) if s > 0 else 0.0
+            remaining = max(total - s, 0.0)
+            return math.sqrt(2.0 * a_max * remaining) if remaining > 0 else 0.0
+        if s < accel_distance:
+            return math.sqrt(2.0 * a_max * s) if s > 0 else 0.0
+        if s > total - accel_distance:
+            remaining = max(total - s, 0.0)
+            return math.sqrt(2.0 * a_max * remaining) if remaining > 0 else 0.0
+        return v_max
+
+    @staticmethod
+    def _direction_at(points: List[Vec3], index: int) -> Vec3:
+        """Unit travel direction at a sample (forward difference, backward at the end)."""
+        if index < len(points) - 1:
+            delta = points[index + 1] - points[index]
+        else:
+            delta = points[index] - points[index - 1]
+        norm = delta.norm()
+        if norm == 0.0:
+            return Vec3.zero()
+        return delta / norm

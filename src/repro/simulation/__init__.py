@@ -1,0 +1,33 @@
+"""Mission simulation — the HIL-evaluation substitute.
+
+The paper evaluates RoboRun with a hardware-in-the-loop setup: Unreal/AirSim
+simulates the world and the drone while the navigation workload runs on a
+separate machine.  This package replaces that loop with a deterministic,
+simulated-clock decision loop:
+
+1. the sensor rig captures the synthetic world from the drone's pose;
+2. the runtime under test (RoboRun or the static baseline) produces a knob
+   policy, a decision deadline and a velocity cap;
+3. the operators run the perception/planning pipeline under that policy and
+   report the work performed;
+4. the compute-cost model converts the work into per-stage latencies, which
+   are charged against the simulated clock; and
+5. the drone flies along its current trajectory for the duration of the
+   decision at the allowed velocity, with collisions checked against the
+   ground-truth world.
+
+:class:`~repro.simulation.mission.MissionSimulator` runs that loop;
+:class:`~repro.simulation.metrics.MissionMetrics` aggregates the mission-level
+metrics of Figure 7 and the traces behind Figures 10 and 11.
+"""
+
+from repro.simulation.metrics import DecisionTrace, MissionMetrics
+from repro.simulation.mission import MissionConfig, MissionResult, MissionSimulator
+
+__all__ = [
+    "DecisionTrace",
+    "MissionConfig",
+    "MissionMetrics",
+    "MissionResult",
+    "MissionSimulator",
+]

@@ -1,0 +1,241 @@
+"""Tests for the time budgeter (Eq. 1 / Alg. 1), the solver (Eq. 3) and the governor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compute.latency_model import PipelineLatencyModel, SOLVER_STAGES
+from repro.core.budget import TimeBudgeter, WaypointObservation
+from repro.core.governor import Governor
+from repro.core.policy import KnobLimits, STATIC_BASELINE_POLICY
+from repro.core.profilers import SpaceProfile
+from repro.core.solver import KnobSolver, SolverConfig
+from repro.geometry.vec3 import Vec3
+from repro.planning.trajectory import Trajectory, TrajectoryPoint
+
+
+def make_profile(
+    gap_min=0.6,
+    gap_avg=1.5,
+    closest_obstacle=5.0,
+    visibility=10.0,
+    sensor_volume=200_000.0,
+    map_volume=50_000.0,
+    velocity=1.0,
+    trajectory=None,
+):
+    return SpaceProfile(
+        timestamp=0.0,
+        gap_min=gap_min,
+        gap_avg=gap_avg,
+        closest_obstacle=closest_obstacle,
+        closest_unknown=visibility,
+        visibility=visibility,
+        sensor_volume=sensor_volume,
+        map_volume=map_volume,
+        velocity=velocity,
+        position=Vec3(0, 0, 5),
+        trajectory=trajectory,
+    )
+
+
+OPEN_SPACE = dict(
+    gap_min=25.0, gap_avg=25.0, closest_obstacle=40.0, visibility=40.0
+)
+CONGESTED = dict(gap_min=0.6, gap_avg=1.2, closest_obstacle=3.0, visibility=5.0)
+
+
+class TestTimeBudgeter:
+    def test_local_budget_matches_equation_1(self):
+        budgeter = TimeBudgeter()
+        v, d = 2.0, 20.0
+        expected = (d - budgeter.stopping_model.distance(v)) / v
+        assert budgeter.local_budget(v, d) == pytest.approx(expected)
+
+    def test_budget_decreases_with_velocity(self):
+        budgeter = TimeBudgeter()
+        budgets = [budgeter.local_budget(v, 20.0) for v in (0.5, 1.0, 2.0, 4.0)]
+        assert budgets == sorted(budgets, reverse=True)
+
+    def test_budget_increases_with_visibility(self):
+        budgeter = TimeBudgeter()
+        budgets = [budgeter.local_budget(2.0, d) for d in (5.0, 10.0, 20.0, 40.0)]
+        assert budgets == sorted(budgets)
+
+    def test_unsafe_regime_gives_zero_budget(self):
+        budgeter = TimeBudgeter()
+        assert budgeter.local_budget(5.0, 0.5) == 0.0
+
+    def test_budget_capped(self):
+        budgeter = TimeBudgeter(max_budget_s=30.0)
+        assert budgeter.local_budget(0.0, 1000.0) <= 30.0
+
+    def test_global_budget_limited_by_worst_upcoming_waypoint(self):
+        budgeter = TimeBudgeter()
+        generous = budgeter.global_budget(
+            [WaypointObservation(0.0, 1.0, 30.0), WaypointObservation(10.0, 1.0, 30.0)]
+        )
+        constrained = budgeter.global_budget(
+            [WaypointObservation(0.0, 1.0, 30.0), WaypointObservation(10.0, 2.5, 4.0)]
+        )
+        assert constrained < generous
+
+    def test_global_budget_requires_waypoints_in_order(self):
+        budgeter = TimeBudgeter()
+        with pytest.raises(ValueError):
+            budgeter.global_budget(
+                [WaypointObservation(10.0, 1.0, 10.0), WaypointObservation(0.0, 1.0, 10.0)]
+            )
+        with pytest.raises(ValueError):
+            budgeter.global_budget([])
+
+    def test_budget_from_trajectory(self):
+        budgeter = TimeBudgeter()
+        trajectory = Trajectory(
+            [
+                TrajectoryPoint(0.0, Vec3(0, 0, 5), Vec3(2, 0, 0)),
+                TrajectoryPoint(5.0, Vec3(10, 0, 5), Vec3(2, 0, 0)),
+            ]
+        )
+        budget = budgeter.budget_from_trajectory(
+            current_velocity=1.0,
+            current_visibility=20.0,
+            upcoming=list(trajectory.points),
+        )
+        assert 0.0 < budget <= budgeter.max_budget_s
+
+    def test_max_safe_velocity_monotone_in_budget(self):
+        budgeter = TimeBudgeter()
+        fast = budgeter.max_safe_velocity(20.0, required_budget=1.0, velocity_ceiling=5.0)
+        slow = budgeter.max_safe_velocity(20.0, required_budget=10.0, velocity_ceiling=5.0)
+        assert fast >= slow
+
+    def test_max_safe_velocity_bounds(self):
+        budgeter = TimeBudgeter()
+        v = budgeter.max_safe_velocity(30.0, required_budget=0.5, velocity_ceiling=2.5)
+        assert v == pytest.approx(2.5)
+        crawl = budgeter.max_safe_velocity(1.0, required_budget=100.0, velocity_ceiling=2.5)
+        assert crawl == budgeter.min_velocity
+
+    @given(
+        st.floats(min_value=0.2, max_value=4.0),
+        st.floats(min_value=1.0, max_value=40.0),
+        st.floats(min_value=0.1, max_value=20.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_max_safe_velocity_is_safe(self, velocity_ceiling, visibility, required):
+        budgeter = TimeBudgeter()
+        v = budgeter.max_safe_velocity(visibility, required, max(velocity_ceiling, 0.2))
+        # The returned velocity either satisfies the budget or is the floor.
+        if v > budgeter.min_velocity + 1e-6:
+            assert budgeter.local_budget(v, visibility) >= required - 1e-3
+
+
+class TestKnobSolver:
+    def test_precisions_respect_power_of_two_ladder(self):
+        solver = KnobSolver()
+        result = solver.solve(2.0, make_profile(**CONGESTED))
+        ladder = KnobLimits().precision_ladder()
+        assert result.policy.point_cloud_precision in ladder
+        assert result.policy.map_to_planner_precision in ladder
+
+    def test_eq3_constraints_hold(self):
+        solver = KnobSolver()
+        profile = make_profile(**CONGESTED)
+        result = solver.solve(3.0, profile)
+        policy = result.policy
+        assert policy.point_cloud_precision <= policy.map_to_planner_precision + 1e-9
+        assert policy.octomap_volume <= policy.map_to_planner_volume + 1e-9
+        assert policy.point_cloud_precision <= max(profile.gap_avg, 0.3) + 1e-9
+
+    def test_open_space_forces_coarse_precision(self):
+        solver = KnobSolver()
+        result = solver.solve(5.0, make_profile(**OPEN_SPACE))
+        assert result.policy.point_cloud_precision >= 4.8
+
+    def test_congested_space_forces_fine_precision(self):
+        solver = KnobSolver()
+        result = solver.solve(5.0, make_profile(**CONGESTED))
+        assert result.policy.point_cloud_precision <= 1.2
+
+    def test_larger_budget_never_reduces_volume(self):
+        solver = KnobSolver()
+        profile = make_profile(**CONGESTED)
+        small = solver.solve(0.5, profile)
+        large = solver.solve(6.0, profile)
+        small_total = small.policy.octomap_volume + small.policy.planner_volume
+        large_total = large.policy.octomap_volume + large.policy.planner_volume
+        assert large_total >= small_total - 1e-6
+
+    def test_predicted_latency_close_to_budget_when_feasible(self):
+        solver = KnobSolver()
+        result = solver.solve(4.0, make_profile(**CONGESTED))
+        assert result.feasible
+        assert result.predicted_latency <= 4.0 + 0.5
+
+    def test_open_space_latency_is_tiny(self):
+        solver = KnobSolver()
+        result = solver.solve(10.0, make_profile(**OPEN_SPACE))
+        assert result.predicted_latency < 1.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            KnobSolver().solve(-1.0, make_profile())
+
+    @given(
+        st.floats(min_value=0.0, max_value=20.0),
+        st.floats(min_value=0.4, max_value=25.0),
+        st.floats(min_value=1.0, max_value=40.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_solver_always_returns_valid_policy(self, budget, gap_avg, closest):
+        profile = make_profile(gap_min=min(0.5, gap_avg), gap_avg=gap_avg, closest_obstacle=closest)
+        result = KnobSolver().solve(budget, profile)
+        limits = KnobLimits()
+        policy = result.policy
+        assert limits.precision_min <= policy.point_cloud_precision <= limits.precision_max
+        assert policy.octomap_volume <= limits.octomap_volume_max + 1e-6
+        assert policy.planner_volume <= limits.planner_volume_max + 1e-6
+
+
+class TestGovernor:
+    def test_open_space_gets_high_velocity_cap(self):
+        governor = Governor(max_velocity=2.5)
+        decision = governor.decide(make_profile(**OPEN_SPACE))
+        assert decision.velocity_cap == pytest.approx(2.5, abs=0.2)
+
+    def test_congested_space_gets_lower_velocity_cap(self):
+        governor = Governor(max_velocity=2.5)
+        open_cap = governor.decide(make_profile(**OPEN_SPACE)).velocity_cap
+        tight_cap = governor.decide(make_profile(**CONGESTED)).velocity_cap
+        assert tight_cap < open_cap
+
+    def test_budget_positive_and_bounded(self):
+        governor = Governor()
+        decision = governor.decide(make_profile(**CONGESTED))
+        assert 0.0 <= decision.time_budget <= governor.budgeter.max_budget_s
+
+    def test_decision_records_profile(self):
+        governor = Governor()
+        profile = make_profile()
+        decision = governor.decide(profile)
+        assert decision.profile is profile
+        assert decision.solver_feasible in (True, False)
+
+    def test_trajectory_feeds_algorithm_1(self):
+        governor = Governor()
+        trajectory = Trajectory(
+            [
+                TrajectoryPoint(0.0, Vec3(0, 0, 5), Vec3(2.5, 0, 0)),
+                TrajectoryPoint(4.0, Vec3(10, 0, 5), Vec3(2.5, 0, 0)),
+            ]
+        )
+        with_traj = governor.decide(make_profile(**CONGESTED, trajectory=trajectory))
+        without = governor.decide(make_profile(**CONGESTED))
+        # Fast planned waypoints can only shrink (never extend) the budget.
+        assert with_traj.time_budget <= without.time_budget + 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Governor(max_velocity=0.0)
+        with pytest.raises(ValueError):
+            Governor(velocity_safety_factor=0.5)

@@ -1,0 +1,234 @@
+"""Unit and property tests for AABB, voxel grids, rays and frustums."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.geometry.frustum import Frustum
+from repro.geometry.grid import VoxelGrid, downsample_points, voxel_bounds, voxel_center, voxel_key
+from repro.geometry.ray import (
+    Ray,
+    ray_aabb_intersect,
+    sample_ray,
+    segment_intersects_aabb,
+    traverse_voxels,
+)
+from repro.geometry.vec3 import Vec3
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+points = st.builds(Vec3, coords, coords, coords)
+
+
+class TestAABB:
+    def test_invalid_corners_rejected(self):
+        with pytest.raises(ValueError):
+            AABB(Vec3(1, 0, 0), Vec3(0, 1, 1))
+
+    def test_from_center_and_volume(self):
+        box = AABB.from_center(Vec3(0, 0, 0), Vec3(2, 4, 6))
+        assert box.volume == pytest.approx(48.0)
+        assert box.center == Vec3(0, 0, 0)
+        assert box.size == Vec3(2, 4, 6)
+
+    def test_contains_boundary(self):
+        box = AABB.cube(Vec3(0, 0, 0), 2.0)
+        assert box.contains(Vec3(1, 1, 1))
+        assert not box.contains(Vec3(1.01, 0, 0))
+
+    def test_from_points_is_tight(self):
+        box = AABB.from_points([Vec3(0, 0, 0), Vec3(1, 2, 3), Vec3(-1, 0, 1)])
+        assert box.min_corner == Vec3(-1, 0, 0)
+        assert box.max_corner == Vec3(1, 2, 3)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            AABB.from_points([])
+
+    def test_intersection_and_union(self):
+        a = AABB(Vec3(0, 0, 0), Vec3(2, 2, 2))
+        b = AABB(Vec3(1, 1, 1), Vec3(3, 3, 3))
+        inter = a.intersection(b)
+        assert inter is not None
+        assert inter.min_corner == Vec3(1, 1, 1)
+        assert a.union(b).max_corner == Vec3(3, 3, 3)
+
+    def test_disjoint_intersection_is_none(self):
+        a = AABB.cube(Vec3(0, 0, 0), 1.0)
+        b = AABB.cube(Vec3(10, 10, 10), 1.0)
+        assert a.intersection(b) is None
+        assert not a.intersects(b)
+
+    def test_distance_to_point(self):
+        box = AABB.cube(Vec3(0, 0, 0), 2.0)
+        assert box.distance_to_point(Vec3(0, 0, 0)) == 0.0
+        assert box.distance_to_point(Vec3(4, 0, 0)) == pytest.approx(3.0)
+
+    def test_expanded(self):
+        box = AABB.cube(Vec3(0, 0, 0), 2.0).expanded(1.0)
+        assert box.size == Vec3(4, 4, 4)
+
+    def test_split_octants_cover_volume(self):
+        box = AABB.cube(Vec3(0, 0, 0), 4.0)
+        octants = box.split_octants()
+        assert len(octants) == 8
+        assert sum(o.volume for o in octants) == pytest.approx(box.volume)
+
+    def test_corners_count(self):
+        assert len(AABB.cube(Vec3(0, 0, 0), 1.0).corners()) == 8
+
+    @given(points, st.floats(min_value=0.1, max_value=10))
+    def test_closest_point_is_inside(self, p, edge):
+        box = AABB.cube(Vec3(0, 0, 0), edge)
+        assert box.contains(box.closest_point(p))
+
+
+class TestVoxelGrid:
+    def test_voxel_key_and_center_round_trip(self):
+        key = voxel_key(Vec3(0.95, 0.05, -0.05), 0.3)
+        center = voxel_center(key, 0.3)
+        assert voxel_key(center, 0.3) == key
+
+    def test_voxel_bounds_contain_center(self):
+        key = (3, -2, 1)
+        assert voxel_bounds(key, 0.5).contains(voxel_center(key, 0.5))
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            voxel_key(Vec3(0, 0, 0), 0.0)
+        with pytest.raises(ValueError):
+            VoxelGrid(-1.0)
+
+    def test_insert_and_average(self):
+        grid = VoxelGrid(1.0)
+        grid.insert(Vec3(0.2, 0.2, 0.2))
+        grid.insert(Vec3(0.8, 0.8, 0.8))
+        grid.insert(Vec3(5.5, 5.5, 5.5))
+        assert len(grid) == 2
+        assert grid.total_points() == 3
+        averaged = grid.averaged_points()
+        assert len(averaged) == 2
+        assert any(p.is_close(Vec3(0.5, 0.5, 0.5)) for p in averaged)
+
+    def test_occupied_volume(self):
+        grid = VoxelGrid(2.0)
+        grid.insert(Vec3(0, 0, 0))
+        assert grid.occupied_volume() == pytest.approx(8.0)
+
+    def test_bounds_empty_raises(self):
+        with pytest.raises(ValueError):
+            VoxelGrid(1.0).bounds()
+
+    @given(st.lists(points, min_size=1, max_size=50), st.floats(min_value=0.2, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_downsample_never_increases_points(self, pts, resolution):
+        reduced = downsample_points(pts, resolution)
+        assert 1 <= len(reduced) <= len(pts)
+
+    @given(st.lists(points, min_size=1, max_size=30), st.floats(min_value=0.5, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_downsample_points_stay_in_cloud_bounds(self, pts, resolution):
+        box = AABB.from_points(pts).expanded(1e-6)
+        for p in downsample_points(pts, resolution):
+            assert box.contains(p)
+
+
+class TestRay:
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Ray(Vec3(0, 0, 0), Vec3(0, 0, 0))
+
+    def test_ray_aabb_hit_and_miss(self):
+        box = AABB.cube(Vec3(5, 0, 0), 2.0)
+        hit = ray_aabb_intersect(Ray(Vec3(0, 0, 0), Vec3(1, 0, 0)), box)
+        assert hit is not None
+        t_enter, t_exit = hit
+        assert t_enter == pytest.approx(4.0)
+        assert t_exit == pytest.approx(6.0)
+        assert ray_aabb_intersect(Ray(Vec3(0, 0, 0), Vec3(0, 1, 0)), box) is None
+
+    def test_box_behind_origin_is_missed(self):
+        box = AABB.cube(Vec3(-5, 0, 0), 2.0)
+        assert ray_aabb_intersect(Ray(Vec3(0, 0, 0), Vec3(1, 0, 0)), box) is None
+
+    def test_segment_intersects(self):
+        box = AABB.cube(Vec3(5, 0, 0), 2.0)
+        assert segment_intersects_aabb(Vec3(0, 0, 0), Vec3(10, 0, 0), box)
+        assert not segment_intersects_aabb(Vec3(0, 0, 0), Vec3(3, 0, 0), box)
+        assert segment_intersects_aabb(Vec3(5, 0, 0), Vec3(5, 0, 0), box)
+
+    def test_traverse_starts_and_ends_correctly(self):
+        keys = list(traverse_voxels(Vec3(0.1, 0.1, 0.1), Vec3(2.9, 0.1, 0.1), 1.0))
+        assert keys[0] == (0, 0, 0)
+        assert keys[-1] == (2, 0, 0)
+        assert keys == [(0, 0, 0), (1, 0, 0), (2, 0, 0)]
+
+    def test_traverse_diagonal_is_connected(self):
+        keys = list(traverse_voxels(Vec3(0.5, 0.5, 0.5), Vec3(3.5, 2.5, 1.5), 1.0))
+        for a, b in zip(keys, keys[1:]):
+            assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    @given(points, points, st.floats(min_value=0.2, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_traverse_contains_endpoints(self, a, b, res):
+        keys = list(traverse_voxels(a, b, res, max_voxels=5000))
+        assert voxel_key(a, res) == keys[0]
+        # The end voxel is present unless the traversal was capped; points that
+        # sit exactly on a voxel boundary may legitimately land one cell off.
+        if len(keys) < 5000 and a.distance_to(b) > 1e-6:
+            end_key = voxel_key(b, res)
+            assert any(
+                all(abs(k[i] - end_key[i]) <= 1 for i in range(3)) for k in keys
+            )
+
+    def test_sample_ray_includes_endpoint(self):
+        samples = sample_ray(Vec3(0, 0, 0), Vec3(1, 0, 0), 0.3)
+        assert samples[0] == Vec3(0, 0, 0)
+        assert samples[-1] == Vec3(1, 0, 0)
+
+    def test_sample_ray_step_controls_count(self):
+        fine = sample_ray(Vec3(0, 0, 0), Vec3(10, 0, 0), 0.5)
+        coarse = sample_ray(Vec3(0, 0, 0), Vec3(10, 0, 0), 5.0)
+        assert len(fine) > len(coarse)
+
+
+class TestFrustum:
+    def make(self, max_range=10.0):
+        return Frustum(
+            apex=Vec3(0, 0, 0),
+            forward=Vec3(1, 0, 0),
+            up=Vec3(0, 0, 1),
+            horizontal_fov_deg=90.0,
+            vertical_fov_deg=60.0,
+            max_range=max_range,
+        )
+
+    def test_contains_points_on_axis(self):
+        f = self.make()
+        assert f.contains(Vec3(5, 0, 0))
+        assert not f.contains(Vec3(-1, 0, 0))
+        assert not f.contains(Vec3(15, 0, 0))
+
+    def test_contains_respects_fov(self):
+        f = self.make()
+        assert f.contains(Vec3(5, 4.9, 0))
+        assert not f.contains(Vec3(5, 5.5, 0))
+
+    def test_volume_positive_and_scales_with_range(self):
+        assert self.make(20.0).volume() > self.make(10.0).volume()
+
+    def test_clipped_volume_monotone(self):
+        f = self.make()
+        assert f.clipped_volume(2.0) < f.clipped_volume(5.0) <= f.volume()
+        assert f.clipped_volume(0.0) == 0.0
+
+    def test_sample_directions_count_and_unit_norm(self):
+        dirs = self.make().sample_directions(4, 3)
+        assert len(dirs) == 12
+        for d in dirs:
+            assert d.norm() == pytest.approx(1.0)
+
+    def test_invalid_fov_rejected(self):
+        with pytest.raises(ValueError):
+            Frustum(Vec3.zero(), Vec3.unit_x(), Vec3.unit_z(), 190.0, 60.0, 10.0)

@@ -1,0 +1,157 @@
+"""Tests for the clock, topics, executor, nodes and latency ledger."""
+
+import pytest
+
+from repro.middleware.clock import SimClock, Stopwatch
+from repro.middleware.executor import Executor
+from repro.middleware.latency import ALL_STAGES, LatencyLedger
+from repro.middleware.message import Message
+from repro.middleware.node import Node
+from repro.middleware.topic import Topic, TopicBus
+
+
+class TestSimClock:
+    def test_advance_and_advance_to(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+        clock.advance(1.5)
+        assert clock.now == pytest.approx(1.5)
+        clock.advance_to(1.0)  # no-op in the past
+        assert clock.now == pytest.approx(1.5)
+        clock.advance_to(3.0)
+        assert clock.now == pytest.approx(3.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_timers_fire_in_order(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule_at(2.0, lambda t: fired.append(("b", t)))
+        clock.schedule_at(1.0, lambda t: fired.append(("a", t)))
+        clock.advance(3.0)
+        assert [name for name, _ in fired] == ["a", "b"]
+        assert fired[0][1] == pytest.approx(1.0)
+
+    def test_schedule_after(self):
+        clock = SimClock(start=5.0)
+        fired = []
+        clock.schedule_after(1.0, lambda t: fired.append(t))
+        clock.advance(0.5)
+        assert not fired
+        clock.advance(1.0)
+        assert fired == [pytest.approx(6.0)]
+
+    def test_stopwatch_accumulates(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        watch.charge("flight", 2.0)
+        watch.charge("compute", 1.0)
+        watch.charge("flight", 3.0)
+        assert watch.total("flight") == pytest.approx(5.0)
+        assert watch.grand_total() == pytest.approx(6.0)
+        assert clock.now == pytest.approx(6.0)
+
+
+class TestTopicsAndExecutor:
+    def test_topic_name_validation(self):
+        with pytest.raises(ValueError):
+            Topic("no_slash")
+
+    def test_publish_and_spin(self):
+        bus = TopicBus()
+        clock = SimClock()
+        executor = Executor(bus, clock)
+        received = []
+        executor.subscribe("/cloud", lambda m: received.append(m.payload))
+        executor.publish("/cloud", {"points": 3}, frame_id="camera")
+        assert executor.pending == 1
+        executor.spin()
+        assert received == [{"points": 3}]
+        assert executor.dispatched == 1
+
+    def test_latched_topic_replays_last_message(self):
+        bus = TopicBus()
+        clock = SimClock()
+        executor = Executor(bus, clock)
+        bus.topic("/map", latched=True)
+        executor.publish("/map", "m1", frame_id="octomap")
+        executor.spin()
+        late = []
+        executor.subscribe("/map", lambda m: late.append(m.payload))
+        assert late == ["m1"]
+
+    def test_publish_cycle_detected(self):
+        bus = TopicBus()
+        executor = Executor(bus, SimClock())
+        executor.subscribe("/a", lambda m: executor.publish("/a", m.payload, "looper"))
+        executor.publish("/a", 0, frame_id="start")
+        with pytest.raises(RuntimeError):
+            executor.spin(max_callbacks=50)
+
+    def test_node_compute_accounting(self):
+        bus = TopicBus()
+        executor = Executor(bus, SimClock())
+        node = Node("octomap", executor)
+        node.charge_compute(0.25)
+        node.charge_compute(0.75)
+        assert node.compute_seconds == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            node.charge_compute(-1.0)
+
+    def test_node_publish_and_latest(self):
+        bus = TopicBus()
+        executor = Executor(bus, SimClock())
+        node = Node("planner", executor)
+        assert node.latest("/plan") is None
+        node.publish("/plan", [1, 2, 3])
+        assert node.publish_count("/plan") == 1
+        assert node.latest("/plan").payload == [1, 2, 3]
+
+    def test_message_age(self):
+        msg = Message.create("x", stamp=1.0, frame_id="n")
+        assert msg.age(3.0) == pytest.approx(2.0)
+        assert msg.age(0.5) == 0.0
+
+
+class TestLatencyLedger:
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyLedger().record(0, "bogus_stage", 0.1, 0.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyLedger().record(0, "octomap", -0.1, 0.0)
+
+    def test_decision_aggregation(self):
+        ledger = LatencyLedger()
+        ledger.record_many(0, {"point_cloud": 0.2, "octomap": 0.3, "comm_octomap": 0.1}, 0.0)
+        ledger.record_many(1, {"point_cloud": 0.2, "octomap": 0.1}, 1.0)
+        decisions = ledger.decisions()
+        assert len(decisions) == 2
+        assert decisions[0].total == pytest.approx(0.6)
+        assert decisions[0].compute_total == pytest.approx(0.5)
+        assert decisions[0].comm_total == pytest.approx(0.1)
+        assert ledger.median_latency() == pytest.approx((0.6 + 0.3) / 2)
+        assert ledger.max_latency() == pytest.approx(0.6)
+
+    def test_stage_shares_sum_to_one(self):
+        ledger = LatencyLedger()
+        ledger.record_many(0, {"point_cloud": 0.4, "piecewise_planning": 0.6}, 0.0)
+        shares = ledger.stage_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_latency_range_in_window(self):
+        ledger = LatencyLedger()
+        ledger.record_many(0, {"octomap": 0.5}, timestamp=10.0)
+        ledger.record_many(1, {"octomap": 1.5}, timestamp=20.0)
+        ledger.record_many(2, {"octomap": 0.2}, timestamp=100.0)
+        assert ledger.latency_range_in_window(0.0, 50.0) == pytest.approx(1.0)
+        assert ledger.latency_range_in_window(90.0, 110.0) == 0.0
+
+    def test_all_canonical_stages_accepted(self):
+        ledger = LatencyLedger()
+        for stage in ALL_STAGES:
+            ledger.record(0, stage, 0.01, 0.0)
+        assert len(ledger) == len(ALL_STAGES)
