@@ -7,7 +7,11 @@ velocity/visibility/deadline on a high-velocity mission.  The reduced-scale
 mission pair provides both sets of per-decision traces.
 """
 
+import pytest
 from conftest import print_table
+
+# Mission-level benchmark: flies full missions through the simulator.
+pytestmark = pytest.mark.slow
 
 
 def _summary(traces, key):

@@ -9,6 +9,9 @@ and prints the same four rows; EXPERIMENTS.md records the measured ratios.
 import pytest
 from conftest import print_table
 
+# Mission-level benchmark: flies full missions through the simulator.
+pytestmark = pytest.mark.slow
+
 
 def test_fig7_mission_level_metrics(benchmark, mission_pair):
     def rows():

@@ -13,6 +13,9 @@ import dataclasses
 import pytest
 from conftest import BENCH_ENV, BENCH_MISSION, print_table, run_mission
 
+# Mission-level benchmark: flies full missions through the simulator.
+pytestmark = pytest.mark.slow
+
 from repro.environment.generator import (
     DENSITY_LEVELS,
     GOAL_DISTANCE_LEVELS_M,

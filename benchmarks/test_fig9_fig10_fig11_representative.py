@@ -8,7 +8,11 @@
   and the normalised per-stage share (11b).
 """
 
+import pytest
 from conftest import print_table
+
+# Mission-level benchmark: flies full missions through the simulator.
+pytestmark = pytest.mark.slow
 
 from repro.environment.generator import EnvironmentGenerator
 from repro.middleware.latency import COMM_STAGES, COMPUTE_STAGES

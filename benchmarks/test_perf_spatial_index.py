@@ -1,0 +1,189 @@
+"""Microbenchmark: the incremental spatial index vs the seed's linear rescans.
+
+The seed implementation answered every hot per-decision map query by
+rescanning the full occupied-voxel set: ``nearest_occupied_distance`` was a
+linear scan, ``coarse_occupied_cells`` a full re-aggregation and
+``build_tree`` re-filtered the whole set once per tree node.  This benchmark
+rebuilds those reference implementations verbatim, runs them against the
+index-backed octree on a ≥10k-voxel map (the scale of a fully observed local
+map), checks the answers agree exactly, and asserts the index is at least 3×
+faster on each query family.
+
+Run with ``-s`` to see the timing table.
+"""
+
+import random
+import time
+
+from conftest import print_table
+
+from repro.geometry.grid import voxel_center
+from repro.geometry.vec3 import Vec3
+from repro.perception.octomap import OccupancyOctree, OctreeNode
+
+VOX_MIN = 0.3
+LEVELS = 6
+MIN_VOXELS = 10_000
+MIN_SPEEDUP = 3.0
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (verbatim ports of the seed's rescanning code)
+# ----------------------------------------------------------------------
+def legacy_nearest(occupied, point, max_radius):
+    import math
+
+    best_sq = max_radius * max_radius
+    for key in occupied:
+        center = voxel_center(key, VOX_MIN)
+        dx = center.x - point.x
+        dy = center.y - point.y
+        dz = center.z - point.z
+        d_sq = dx * dx + dy * dy + dz * dz
+        if d_sq < best_sq:
+            best_sq = d_sq
+    return math.sqrt(best_sq)
+
+
+def legacy_coarse(occupied, level):
+    factor = 2**level
+    cells = {}
+    for (i, j, k) in occupied:
+        coarse = (i // factor, j // factor, k // factor)
+        cells[coarse] = cells.get(coarse, 0) + 1
+    return cells
+
+
+def legacy_build_tree(occupied):
+    def build_node(key, level):
+        resolution = VOX_MIN * (2**level)
+        center = voxel_center(key, resolution)
+        if level == 0:
+            return OctreeNode(center=center, size=resolution, depth=0, occupied_leaves=1)
+        child_level = level - 1
+        child_factor = 2**child_level
+        factor = 2**level
+        child_keys = set()
+        for (i, j, k) in occupied:
+            if (i // factor, j // factor, k // factor) == key:
+                child_keys.add((i // child_factor, j // child_factor, k // child_factor))
+        children = [build_node(ck, child_level) for ck in sorted(child_keys)]
+        return OctreeNode(
+            center=center,
+            size=resolution,
+            depth=level,
+            occupied_leaves=sum(c.occupied_leaves for c in children),
+            children=children,
+        )
+
+    top_level = LEVELS - 1
+    top_factor = 2**top_level
+    top_keys = {(i // top_factor, j // top_factor, k // top_factor) for (i, j, k) in occupied}
+    children = [build_node(key, top_level) for key in sorted(top_keys)]
+    if len(children) == 1:
+        return children[0]
+    center = Vec3(
+        sum(c.center.x for c in children) / len(children),
+        sum(c.center.y for c in children) / len(children),
+        sum(c.center.z for c in children) / len(children),
+    )
+    return OctreeNode(
+        center=center,
+        size=VOX_MIN * top_factor * 2,
+        depth=top_level + 1,
+        occupied_leaves=sum(c.occupied_leaves for c in children),
+        children=children,
+    )
+
+
+# ----------------------------------------------------------------------
+# Map construction and timing harness
+# ----------------------------------------------------------------------
+def build_map():
+    """A local map of ~12k occupied voxels in wall/rack-like dense clusters."""
+    rng = random.Random(17)
+    octree = OccupancyOctree(vox_min=VOX_MIN, levels=LEVELS)
+    keys = set()
+    while len(keys) < 12_000:
+        base = (rng.randint(-80, 80), rng.randint(-80, 80), rng.randint(0, 24))
+        for i in range(8):
+            for j in range(8):
+                for k in range(8):
+                    keys.add((base[0] + i, base[1] + j, base[2] + k))
+    for key in keys:
+        octree.mark_occupied(voxel_center(key, VOX_MIN))
+    assert octree.occupied_voxel_count() >= MIN_VOXELS
+    return octree
+
+
+def best_of(callable_, rounds):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_spatial_index_speedups():
+    octree = build_map()
+    occupied = octree.occupied_keys()
+    rng = random.Random(23)
+    queries = [
+        Vec3(rng.uniform(-25, 25), rng.uniform(-25, 25), rng.uniform(0, 8))
+        for _ in range(25)
+    ]
+
+    # Answers must agree exactly before timing means anything.
+    for q in queries:
+        assert octree.nearest_occupied_distance(q, 40.0) == legacy_nearest(
+            occupied, q, 40.0
+        )
+    for precision in (0.3, 1.2, 2.4, 9.6):
+        level = octree.coarsen_level_for(precision)
+        assert octree.coarse_occupied_cells(precision) == legacy_coarse(occupied, level)
+    new_root = octree.build_tree()
+    old_root = legacy_build_tree(occupied)
+    assert new_root.occupied_leaves == old_root.occupied_leaves == len(occupied)
+    assert new_root.count_nodes() == old_root.count_nodes()
+
+    # Timings: best-of to shave scheduler noise; the legacy tree build is run
+    # once because a single pass already takes seconds at this scale — which
+    # is the point of the index.
+    t_nearest_new = best_of(
+        lambda: [octree.nearest_occupied_distance(q, 40.0) for q in queries], 3
+    )
+    t_nearest_old = best_of(lambda: [legacy_nearest(occupied, q, 40.0) for q in queries], 2)
+    t_coarse_new = best_of(lambda: octree.coarse_occupied_cells(2.4), 5)
+    t_coarse_old = best_of(lambda: legacy_coarse(occupied, 3), 3)
+    t_tree_new = best_of(octree.build_tree, 3)
+    t_tree_old = best_of(lambda: legacy_build_tree(occupied), 1)
+
+    rows = [
+        ["query", "legacy (s)", "indexed (s)", "speedup"],
+        [
+            "nearest x25",
+            f"{t_nearest_old:.4f}",
+            f"{t_nearest_new:.4f}",
+            f"{t_nearest_old / t_nearest_new:.1f}x",
+        ],
+        [
+            "coarsen (2.4 m)",
+            f"{t_coarse_old:.4f}",
+            f"{t_coarse_new:.4f}",
+            f"{t_coarse_old / t_coarse_new:.1f}x",
+        ],
+        [
+            "build_tree",
+            f"{t_tree_old:.4f}",
+            f"{t_tree_new:.4f}",
+            f"{t_tree_old / t_tree_new:.1f}x",
+        ],
+    ]
+    print_table(
+        f"Spatial index vs linear rescans ({len(occupied)} occupied voxels)", rows
+    )
+
+    assert t_nearest_old / t_nearest_new >= MIN_SPEEDUP
+    assert t_coarse_old / t_coarse_new >= MIN_SPEEDUP
+    assert t_tree_old / t_tree_new >= MIN_SPEEDUP

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.budget import TimeBudgeter
-from repro.core.policy import KnobLimits, KnobPolicy
+from repro.core.policy import KnobPolicy
 from repro.core.profilers import SpaceProfile
 from repro.core.solver import KnobSolver, SolverResult
 

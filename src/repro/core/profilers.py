@@ -155,12 +155,14 @@ class ProfilerSuite:
 
         The freshest estimate comes from the current point cloud; the map is
         consulted only when the cloud is empty (nothing currently in view),
-        capped at the profiler's visibility limit.
+        capped at the profiler's visibility limit.  The map query is the
+        spatial index's expanding-ring search, which already returns the
+        visibility cap on an empty map, so no emptiness guard is needed.
         """
         cloud_distance = cloud.nearest_distance()
         if math.isfinite(cloud_distance):
             return min(cloud_distance, self.max_visibility)
-        if octree is not None and octree.occupied_voxel_count() > 0:
+        if octree is not None:
             return octree.nearest_occupied_distance(position, self.max_visibility)
         return self.max_visibility
 

@@ -232,8 +232,17 @@ class KnobSolver:
         current = predicted(v0, v1, v2)
         steps = self.config.volume_steps
         # Raise each volume in turn; stop a stage's growth as soon as the next
-        # step would overshoot the target.
-        for index, (floor, ceiling) in enumerate(((v0, v0_max), (v1, v1_max), (v2, v2_max))):
+        # step would overshoot the target.  Floors are re-read at the start of
+        # each stage: stage 0 may already have raised v1 (to keep v0 <= v1),
+        # and restarting stage 1 from its original floor would both waste its
+        # steps below the raised value and coarsen the fill above it.
+        for index in range(3):
+            if index == 0:
+                floor, ceiling = v0, v0_max
+            elif index == 1:
+                floor, ceiling = v1, v1_max
+            else:
+                floor, ceiling = v2, v2_max
             if ceiling <= floor:
                 continue
             step = (ceiling - floor) / steps
@@ -249,7 +258,7 @@ class KnobSolver:
                 else:
                     trial_v2 = trial
                 trial_latency = predicted(trial_v0, trial_v1, trial_v2)
-                if trial_latency > target and current > 0:
+                if trial_latency > target:
                     break
                 v0, v1, v2 = trial_v0, trial_v1, trial_v2
                 current = trial_latency

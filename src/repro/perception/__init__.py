@@ -16,6 +16,7 @@ budget, and tree pruning / sub-sampling for the map handed to the planner.
 from repro.perception.octomap import OccupancyOctree, OctreeNode, allowed_precisions
 from repro.perception.planning_view import PlanningView, build_planning_view
 from repro.perception.point_cloud import PointCloud, PointCloudKernel
+from repro.perception.spatial_index import SpatialIndex
 
 __all__ = [
     "OccupancyOctree",
@@ -23,6 +24,7 @@ __all__ = [
     "PlanningView",
     "PointCloud",
     "PointCloudKernel",
+    "SpatialIndex",
     "allowed_precisions",
     "build_planning_view",
 ]

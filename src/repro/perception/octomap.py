@@ -31,18 +31,25 @@ the behaviour the runtime observes:
   is computed analytically and reported in the insertion statistics, so the
   compute model charges the true precision-dependent cost even though the
   Python-side bookkeeping is coarse.
+
+Every mutation of the occupied set also updates a
+:class:`~repro.perception.spatial_index.SpatialIndex`, so the per-decision
+queries — nearest obstacle, coarse aggregation, tree construction, segment
+probes and locality eviction — run against incrementally maintained
+structures instead of rescanning the map.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.geometry.grid import VoxelKey, voxel_center, voxel_key
 from repro.geometry.ray import sample_ray
 from repro.geometry.vec3 import Vec3
 from repro.perception.point_cloud import PointCloud
+from repro.perception.spatial_index import SpatialIndex
 
 
 def allowed_precisions(vox_min: float, levels: int) -> List[float]:
@@ -134,15 +141,28 @@ class OccupancyOctree:
             raise ValueError("free-space resolution cannot be finer than vox_min")
         self._occupied: Set[VoxelKey] = set()
         self._free: Set[VoxelKey] = set()
+        self._index = SpatialIndex(self.vox_min, self.levels)
         self._last_insert_stats: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Basic cell operations
     # ------------------------------------------------------------------
+    def _add_occupied(self, key: VoxelKey) -> None:
+        """Add one occupied voxel, keeping the spatial index in sync."""
+        if key not in self._occupied:
+            self._occupied.add(key)
+            self._index.add(key)
+
+    def _remove_occupied(self, key: VoxelKey) -> None:
+        """Remove one occupied voxel, keeping the spatial index in sync."""
+        if key in self._occupied:
+            self._occupied.remove(key)
+            self._index.remove(key)
+
     def mark_occupied(self, point: Vec3) -> VoxelKey:
         """Mark the minimum-resolution voxel containing ``point`` as occupied."""
         key = voxel_key(point, self.vox_min)
-        self._occupied.add(key)
+        self._add_occupied(key)
         self._free.discard(voxel_key(point, self.free_resolution))
         return key
 
@@ -233,7 +253,7 @@ class OccupancyOctree:
                 # volume operator trades away free-space knowledge, not the
                 # obstacles themselves.
                 endpoint_key = voxel_key(point, self.vox_min)
-                self._occupied.add(endpoint_key)
+                self._add_occupied(endpoint_key)
                 self._free.discard(voxel_key(point, self.free_resolution))
                 cells_updated += 1
                 skipped += 1
@@ -288,10 +308,10 @@ class OccupancyOctree:
             # are protected.
             sample_key = voxel_key(sample, self.vox_min)
             if protected is None or sample_key not in protected:
-                self._occupied.discard(sample_key)
+                self._remove_occupied(sample_key)
 
         endpoint_key = voxel_key(point, self.vox_min)
-        self._occupied.add(endpoint_key)
+        self._add_occupied(endpoint_key)
         self._free.discard(voxel_key(point, self.free_resolution))
         return charged_cells, integrated_volume
 
@@ -337,20 +357,35 @@ class OccupancyOctree:
     def nearest_occupied_distance(self, point: Vec3, max_radius: float = 100.0) -> float:
         """Distance from ``point`` to the nearest occupied voxel centre.
 
-        Returns ``max_radius`` when the map has no occupied voxel within the
-        radius (or no occupied voxels at all), which the profilers interpret
-        as "no known obstacle nearby".
+        An expanding-ring search over the spatial index's bucket grid, so the
+        cost tracks the distance to the nearest obstacle rather than the total
+        number of occupied voxels.  Returns ``max_radius`` when the map has no
+        occupied voxel within the radius (or no occupied voxels at all), which
+        the profilers interpret as "no known obstacle nearby".
         """
-        best_sq = max_radius * max_radius
-        for key in self._occupied:
-            center = voxel_center(key, self.vox_min)
-            dx = center.x - point.x
-            dy = center.y - point.y
-            dz = center.z - point.z
-            d_sq = dx * dx + dy * dy + dz * dz
-            if d_sq < best_sq:
-                best_sq = d_sq
-        return math.sqrt(best_sq)
+        return self._index.nearest_occupied_distance(point, max_radius)
+
+    def segment_occupied(
+        self,
+        start: Vec3,
+        end: Vec3,
+        step: Optional[float] = None,
+        lateral: float = 0.0,
+        include_start: bool = True,
+    ) -> bool:
+        """Sampled occupancy probe along a segment (index-backed).
+
+        Used by the simulator's blocked-trajectory and emergency-brake checks:
+        probes the segment at ``step`` spacing (default the minimum voxel
+        size), optionally widening the probe by ``±lateral`` along x and y,
+        against the occupancy map at its native resolution.  The spatial
+        index's bucket grid acts as a broad phase, so probes through empty
+        space cost one dictionary lookup each.
+        """
+        effective = step if step is not None else self.vox_min
+        return self._index.segment_occupied(
+            start, end, effective, lateral=lateral, include_start=include_start
+        )
 
     def nearest_unknown_distance(
         self, point: Vec3, search_radius: float, step: Optional[float] = None
@@ -395,6 +430,12 @@ class OccupancyOctree:
             raise ValueError("radius must be positive")
         radius_sq = radius * radius
 
+        before = len(self._occupied) + len(self._free)
+        # The index prunes whole buckets against the radius, so only the
+        # boundary shell of the occupied set is tested voxel by voxel.
+        for key in self._index.keys_outside(center, radius):
+            self._remove_occupied(key)
+
         def keep(key: VoxelKey, resolution: float) -> bool:
             c = voxel_center(key, resolution)
             dx = c.x - center.x
@@ -402,8 +443,6 @@ class OccupancyOctree:
             dz = c.z - center.z
             return dx * dx + dy * dy + dz * dz <= radius_sq
 
-        before = len(self._occupied) + len(self._free)
-        self._occupied = {k for k in self._occupied if keep(k, self.vox_min)}
         self._free = {k for k in self._free if keep(k, self.free_resolution)}
         return before - (len(self._occupied) + len(self._free))
 
@@ -423,14 +462,11 @@ class OccupancyOctree:
         Returns a mapping from coarse voxel key (at ``precision``) to the
         number of occupied minimum-resolution voxels it aggregates.  This is
         the sub-sampling precision operator for the map handed to the planner.
+        The aggregation is maintained incrementally by the spatial index, so
+        this is a snapshot copy rather than a rescan of the occupied set.
         """
         level = self.coarsen_level_for(precision)
-        factor = 2**level
-        cells: Dict[VoxelKey, int] = {}
-        for (i, j, k) in self._occupied:
-            coarse = (i // factor, j // factor, k // factor)
-            cells[coarse] = cells.get(coarse, 0) + 1
-        return cells
+        return dict(self._index.level_cells(level))
 
     def coarse_cell_boxes(self, precision: float) -> List[Tuple[Vec3, float]]:
         """Centres and edge lengths of the coarse occupied cells."""
@@ -448,53 +484,57 @@ class OccupancyOctree:
         ``vox_min * 2**(levels-1)``) containing every occupied voxel.  Nodes
         subdivide down to the minimum resolution; empty octants are omitted,
         so the tree is sparse.
+
+        Construction is a single bottom-up pass over the spatial index's
+        maintained level maps: leaves are created for every occupied voxel and
+        grouped into their parent cells level by level, so the cost is
+        O(levels × N) total rather than O(levels × N) *per node*.
         """
         if not self._occupied:
             return OctreeNode(center=Vec3.zero(), size=self.vox_min, depth=0)
-        top_level = self.levels - 1
-        top_factor = 2**top_level
-        top_keys = {
-            (i // top_factor, j // top_factor, k // top_factor)
-            for (i, j, k) in self._occupied
+        vox_min = self.vox_min
+        current: Dict[VoxelKey, OctreeNode] = {
+            key: OctreeNode(
+                center=voxel_center(key, vox_min), size=vox_min, depth=0, occupied_leaves=1
+            )
+            for key in sorted(self._index.level_cells(0))
         }
-        top_resolution = self.vox_min * top_factor
-        children = [self._build_node(key, top_level) for key in sorted(top_keys)]
-        occupied_total = sum(child.occupied_leaves for child in children)
-        if len(children) == 1:
-            return children[0]
+        for level in range(1, self.levels):
+            resolution = vox_min * (2**level)
+            parents: Dict[VoxelKey, OctreeNode] = {}
+            for (i, j, k), node in current.items():
+                parent_key = (i // 2, j // 2, k // 2)
+                parent = parents.get(parent_key)
+                if parent is None:
+                    parent = OctreeNode(
+                        center=voxel_center(parent_key, resolution),
+                        size=resolution,
+                        depth=level,
+                        occupied_leaves=0,
+                    )
+                    parents[parent_key] = parent
+                parent.children.append(node)
+                parent.occupied_leaves += node.occupied_leaves
+            # Keep deterministic (sorted-key) ordering at every level so the
+            # children of each node come out sorted as well.
+            current = dict(sorted(parents.items()))
+
+        top_nodes = list(current.values())
+        if len(top_nodes) == 1:
+            return top_nodes[0]
         # A synthetic super-root ties multiple top-level cubes together.
+        top_resolution = vox_min * (2 ** (self.levels - 1))
         center = Vec3(
-            sum(c.center.x for c in children) / len(children),
-            sum(c.center.y for c in children) / len(children),
-            sum(c.center.z for c in children) / len(children),
+            sum(c.center.x for c in top_nodes) / len(top_nodes),
+            sum(c.center.y for c in top_nodes) / len(top_nodes),
+            sum(c.center.z for c in top_nodes) / len(top_nodes),
         )
         return OctreeNode(
             center=center,
             size=top_resolution * 2,
-            depth=top_level + 1,
-            occupied_leaves=occupied_total,
-            children=children,
-        )
-
-    def _build_node(self, key: VoxelKey, level: int) -> OctreeNode:
-        resolution = self.vox_min * (2**level)
-        center = voxel_center(key, resolution)
-        if level == 0:
-            return OctreeNode(center=center, size=resolution, depth=0, occupied_leaves=1)
-        child_level = level - 1
-        child_factor = 2**child_level
-        factor = 2**level
-        child_keys: Set[VoxelKey] = set()
-        for (i, j, k) in self._occupied:
-            if (i // factor, j // factor, k // factor) == key:
-                child_keys.add((i // child_factor, j // child_factor, k // child_factor))
-        children = [self._build_node(ck, child_level) for ck in sorted(child_keys)]
-        return OctreeNode(
-            center=center,
-            size=resolution,
-            depth=level,
-            occupied_leaves=sum(c.occupied_leaves for c in children),
-            children=children,
+            depth=self.levels,
+            occupied_leaves=sum(c.occupied_leaves for c in top_nodes),
+            children=top_nodes,
         )
 
 

@@ -19,10 +19,14 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Tuple
 
 from repro.geometry.aabb import AABB
-from repro.geometry.grid import VoxelKey, voxel_center, voxel_key
-from repro.geometry.ray import sample_ray
+from repro.geometry.grid import VoxelKey, voxel_center
 from repro.geometry.vec3 import Vec3
 from repro.perception.octomap import OccupancyOctree
+from repro.perception.spatial_index import (
+    cell_margin_radius,
+    point_hits_cells,
+    segment_hits_cells,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,31 +65,15 @@ class PlanningView:
     # Collision queries
     # ------------------------------------------------------------------
     def _neighbour_radius(self, margin: float) -> int:
-        if margin <= 0:
-            return 0
-        # Round to the nearest whole cell: the cell quantisation itself already
-        # provides roughly half a cell of clearance, and ceiling the radius at
-        # coarse precisions would close every narrow passage the planner needs.
-        return min(2, int(round(margin / self.precision)))
+        return cell_margin_radius(margin, self.precision)
 
     def point_in_collision(self, point: Vec3, margin: float = 0.0) -> bool:
         """True when a point lies inside (or within margin of) an occupied cell.
 
-        The margin is applied in grid space (rounded up to whole cells and
-        capped at two cells) so that the check stays a handful of set lookups.
+        The margin is applied in grid space (rounded to whole cells and capped
+        at two cells) so that the check stays a handful of set lookups.
         """
-        if not self.cells:
-            return False
-        key = voxel_key(point, self.precision)
-        radius = self._neighbour_radius(margin)
-        if radius == 0:
-            return key in self.cells
-        for di in range(-radius, radius + 1):
-            for dj in range(-radius, radius + 1):
-                for dk in range(-radius, radius + 1):
-                    if (key[0] + di, key[1] + dj, key[2] + dk) in self.cells:
-                        return True
-        return False
+        return point_hits_cells(self.cells, self.precision, point, margin)
 
     def segment_in_collision(
         self,
@@ -96,6 +84,9 @@ class PlanningView:
     ) -> bool:
         """Collision test for a straight segment against the occupied cells.
 
+        Delegates to the spatial-index segment primitive, which probes the
+        segment on raw scalars instead of materialising a point per sample.
+
         Args:
             start: segment start.
             end: segment end.
@@ -104,19 +95,12 @@ class PlanningView:
                 precision operator* ("planning precision is enforced by
                 modifying the raytracer, similar to OctoMap", §III-B).  When
                 ``None`` the view's own cell size is used, i.e. the exact
-                resolution of the map the planner was given.
+                resolution of the map the planner was given.  Steps wider than
+                a cell are clamped so thin obstacles are never skipped.
         """
-        if not self.cells:
-            return False
-        step = ray_step if ray_step is not None else self.precision
-        if step <= 0:
-            raise ValueError("ray step must be positive")
-        # Never step wider than a cell, otherwise thin obstacles are skipped.
-        step = min(step, self.precision)
-        for sample in sample_ray(start, end, step):
-            if self.point_in_collision(sample, margin):
-                return True
-        return False
+        return segment_hits_cells(
+            self.cells, self.precision, start, end, ray_step, margin
+        )
 
     def nearest_obstacle_distance(self, point: Vec3, default: float = 100.0) -> float:
         """Distance from a point to the nearest occupied cell centre."""

@@ -25,6 +25,7 @@ from repro.geometry.aabb import AABB
 from repro.geometry.grid import voxel_key
 from repro.geometry.vec3 import Vec3
 from repro.perception.planning_view import PlanningView
+from repro.perception.spatial_index import point_hits_cells, segment_hits_cells
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,24 +111,34 @@ class PlanResult:
 
 
 class _CollisionChecker:
-    """Wraps the planning view's collision queries, counting ray-cast samples."""
+    """Counts ray-cast samples while probing the planning view's cell grid.
+
+    The checker runs on the spatial-index collision primitives directly —
+    the view's cell set and precision are fetched once, so the planner's
+    hottest loop (thousands of segment probes per plan) avoids the per-call
+    attribute traffic and per-sample point allocation of the view methods.
+    """
 
     def __init__(self, view: PlanningView, margin: float, ray_step: Optional[float]) -> None:
         self.view = view
+        self.cells = view.cells
+        self.precision = view.precision
         self.margin = margin
         self.step = ray_step if ray_step is not None else view.precision
         self.samples = 0
 
     def point(self, point: Vec3) -> bool:
         self.samples += 1
-        return self.view.point_in_collision(point, self.margin)
+        return point_hits_cells(self.cells, self.precision, point, self.margin)
 
     def segment(self, start: Vec3, end: Vec3) -> bool:
-        effective = min(self.step, self.view.precision)
+        effective = min(self.step, self.precision)
         if effective <= 0:
-            effective = self.view.precision
+            effective = self.precision
         self.samples += int(start.distance_to(end) / max(effective, 1e-6)) + 2
-        return self.view.segment_in_collision(start, end, self.margin, self.step)
+        return segment_hits_cells(
+            self.cells, self.precision, start, end, self.step, self.margin
+        )
 
 
 class RRTStarPlanner:

@@ -10,8 +10,9 @@ volume operator.
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.geometry.vec3 import Vec3
 
@@ -28,6 +29,36 @@ class TrajectoryPoint:
     def speed(self) -> float:
         """Scalar speed at this sample."""
         return self.velocity.norm()
+
+
+@dataclass(frozen=True, slots=True)
+class NearestWaypoint:
+    """A trajectory sample together with its index in the sample sequence.
+
+    Returned by :meth:`Trajectory.nearest_point_to` so callers that walk the
+    trajectory from the nearest sample (e.g. the simulator's blocked-path
+    check) can anchor at the exact sample rather than re-finding it by
+    position equality — which silently picks the *first* occurrence when a
+    path revisits a waypoint.
+    """
+
+    index: int
+    point: TrajectoryPoint
+
+    @property
+    def position(self) -> Vec3:
+        """Position of the underlying sample."""
+        return self.point.position
+
+    @property
+    def time(self) -> float:
+        """Timestamp of the underlying sample."""
+        return self.point.time
+
+    @property
+    def velocity(self) -> Vec3:
+        """Velocity of the underlying sample."""
+        return self.point.velocity
 
 
 class Trajectory:
@@ -131,9 +162,25 @@ class Trajectory:
     # ------------------------------------------------------------------
     # Queries used by RoboRun
     # ------------------------------------------------------------------
-    def nearest_point_to(self, position: Vec3) -> TrajectoryPoint:
-        """The sample closest to a world-space position."""
-        return min(self._points, key=lambda p: p.position.distance_to(position))
+    def nearest_point_to(self, position: Vec3) -> NearestWaypoint:
+        """The sample closest to a world-space position, with its index.
+
+        Exact distance ties — duplicate waypoints where the path revisits a
+        position — resolve to the *latest* matching sample: the drone has
+        already consumed the earlier visit, so look-ahead checks anchored at
+        the returned index must start from the later one.
+        """
+        best_index = 0
+        best_sq = math.inf
+        for index, p in enumerate(self._points):
+            dx = p.position.x - position.x
+            dy = p.position.y - position.y
+            dz = p.position.z - position.z
+            d_sq = dx * dx + dy * dy + dz * dz
+            if d_sq <= best_sq:
+                best_index = index
+                best_sq = d_sq
+        return NearestWaypoint(index=best_index, point=self._points[best_index])
 
     def distance_to(self, position: Vec3) -> float:
         """Distance from a position to the nearest trajectory sample."""

@@ -406,25 +406,23 @@ class MissionSimulator:
         knob changes cell sizes from decision to decision, and re-validating
         yesterday's path against today's coarser cells would invalidate
         perfectly good trajectories and cause replanning thrash.
+
+        The walk starts at the nearest sample's own index (paths that revisit
+        a waypoint used to re-find it by position equality, anchoring at the
+        first visit and spending the whole check budget on segments already
+        behind the drone) and each segment probe runs through the octree's
+        index-backed segment query.
         """
         cfg = self.config
         octree = self.operators.octree
-        nearest = trajectory.nearest_point_to(position)
+        start_index = trajectory.nearest_point_to(position).index
         points = trajectory.waypoint_positions()
-        try:
-            start_index = points.index(nearest.position)
-        except ValueError:
-            start_index = 0
         travelled = 0.0
         step = max(octree.vox_min, 0.5)
         for a, b in zip(points[start_index:], points[start_index + 1 :]):
-            length = a.distance_to(b)
-            samples = max(2, int(length / step) + 1)
-            for i in range(samples):
-                probe = a.lerp(b, i / (samples - 1))
-                if octree.is_occupied(probe):
-                    return True
-            travelled += length
+            if octree.segment_occupied(a, b, step=step):
+                return True
+            travelled += a.distance_to(b)
             if travelled >= cfg.block_check_distance_m:
                 break
         return False
@@ -491,24 +489,18 @@ class MissionSimulator:
         cfg = self.config
         octree = self.operators.octree
         horizon = motion * cfg.emergency_brake_lookahead_s
-        length = horizon.norm()
-        if length < 1e-6:
+        if horizon.norm() < 1e-6:
             return False
-        lateral = octree.vox_min
-        offsets = (
-            Vec3.zero(),
-            Vec3(lateral, 0.0, 0.0),
-            Vec3(-lateral, 0.0, 0.0),
-            Vec3(0.0, lateral, 0.0),
-            Vec3(0.0, -lateral, 0.0),
+        # The drone's own voxel is excluded (include_start=False): map noise
+        # can mark the cell the drone currently sits in, and braking on it
+        # would pin the drone in place forever.
+        return octree.segment_occupied(
+            position,
+            position + horizon,
+            step=octree.vox_min,
+            lateral=octree.vox_min,
+            include_start=False,
         )
-        steps = max(2, int(length / octree.vox_min) + 1)
-        for i in range(1, steps + 1):
-            probe = position + horizon * (i / steps)
-            for offset in offsets:
-                if octree.is_occupied(probe + offset):
-                    return True
-        return False
 
     def _fly(
         self,

@@ -3,7 +3,14 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.compute.latency_model import PipelineLatencyModel, SOLVER_STAGES
+from repro.compute.latency_model import (
+    PipelineLatencyModel,
+    SOLVER_STAGES,
+    STAGE_PERCEPTION,
+    STAGE_PERCEPTION_TO_PLANNING,
+    STAGE_PLANNING,
+    StageLatencyModel,
+)
 from repro.core.budget import TimeBudgeter, WaypointObservation
 from repro.core.governor import Governor
 from repro.core.policy import KnobLimits, STATIC_BASELINE_POLICY
@@ -129,6 +136,38 @@ class TestTimeBudgeter:
         if v > budgeter.min_velocity + 1e-6:
             assert budgeter.local_budget(v, visibility) >= required - 1e-3
 
+    def test_global_budget_single_waypoint_equals_local(self):
+        # With only W0 the loop never runs, so the for/else completion path
+        # must return W0's local budget unchanged.
+        budgeter = TimeBudgeter()
+        single = budgeter.global_budget([WaypointObservation(0.0, 1.0, 20.0)])
+        assert single == pytest.approx(budgeter.local_budget(1.0, 20.0))
+
+    def test_global_budget_completion_path_adds_remaining_slack(self):
+        # Every waypoint keeps a positive remaining budget: the result is the
+        # accumulated flight time plus the final remaining slack (for/else).
+        budgeter = TimeBudgeter()
+        w0 = WaypointObservation(0.0, 1.0, 30.0)
+        w1 = WaypointObservation(10.0, 1.0, 30.0)
+        flight_time = 10.0  # mean velocity 1.0 over 10 m
+        b_r = budgeter.local_budget(1.0, 30.0) - flight_time
+        b_r = min(b_r, budgeter.local_budget(1.0, 30.0))
+        expected = min(flight_time + max(b_r, 0.0), budgeter.max_budget_s)
+        assert budgeter.global_budget([w0, w1]) == pytest.approx(expected)
+
+    def test_global_budget_early_break_on_unsafe_waypoint(self):
+        # A zero-visibility waypoint zeroes the remaining budget: the loop
+        # breaks early and the flight time of that leg is *not* credited.
+        budgeter = TimeBudgeter()
+        waypoints = [
+            WaypointObservation(0.0, 1.0, 30.0),
+            WaypointObservation(10.0, 1.0, 30.0),
+            WaypointObservation(20.0, 1.0, 0.0),
+        ]
+        assert budgeter.global_budget(waypoints) == pytest.approx(10.0)
+        # When the unsafe waypoint is the immediate next one, nothing accrues.
+        assert budgeter.global_budget(waypoints[1:]) == 0.0
+
 
 class TestKnobSolver:
     def test_precisions_respect_power_of_two_ladder(self):
@@ -195,6 +234,75 @@ class TestKnobSolver:
         assert limits.precision_min <= policy.point_cloud_precision <= limits.precision_max
         assert policy.octomap_volume <= limits.octomap_volume_max + 1e-6
         assert policy.planner_volume <= limits.planner_volume_max + 1e-6
+
+    def test_fill_volumes_restarts_stage_one_from_raised_floor(self):
+        # Regression: stage 0 raises v1 in lockstep with v0 (to keep v0 <= v1).
+        # The stale-floor bug restarted stage 1's greedy fill from the
+        # *original* v1 floor, so its trial grid sat mostly below the already
+        # raised value and the remaining budget was left unused.  With the
+        # per-stage floors the fill continues from where stage 0 left v1.
+        limits = KnobLimits(
+            octomap_volume_max=80_000.0,
+            map_to_planner_volume_max=100_000.0,
+            planner_volume_max=150_000.0,
+        )
+        config = SolverConfig(volume_steps=2)
+        solver = KnobSolver(limits=limits, config=config)
+        profile = make_profile(sensor_volume=500_000.0)
+        model = solver.latency_model
+
+        def predicted(v0, v1, v2):
+            return (
+                model.stage_latency(STAGE_PERCEPTION, 0.3, v0)
+                + model.stage_latency(STAGE_PERCEPTION_TO_PLANNING, 0.3, v1)
+                + model.stage_latency(STAGE_PLANNING, 0.3, v2)
+            )
+
+        # v0 fills to its 80k ceiling, dragging v1 with it.  The correct
+        # stage-1 grid from the raised floor is {90k, 100k}; the target admits
+        # 90k but not 100k, so the fixed fill must land v1 strictly above v0.
+        v2_floor = 150_000.0
+        target = predicted(80_000.0, 90_000.0, v2_floor) + 1e-9
+        policy, latency = solver._fill_volumes(0.3, 0.3, target, profile)
+        assert policy.octomap_volume == pytest.approx(80_000.0)
+        assert policy.map_to_planner_volume == pytest.approx(90_000.0)
+        assert policy.map_to_planner_volume > policy.octomap_volume
+        assert latency <= target
+
+    def test_fill_volumes_overshoot_guard_holds_at_zero_latency(self):
+        # Regression: the `current > 0` clause let a zero-latency start grow
+        # volumes arbitrarily far past the target.  With zero floors and a
+        # zero target, every growth step overshoots and must be rejected.
+        config = SolverConfig(min_octomap_volume=0.0, min_planner_volume=0.0)
+        solver = KnobSolver(config=config)
+        policy, latency = solver._fill_volumes(0.3, 0.3, 0.0, make_profile())
+        assert policy.octomap_volume == 0.0
+        assert policy.map_to_planner_volume == 0.0
+        assert policy.planner_volume == 0.0
+        assert latency == 0.0
+
+    def test_tie_break_prefers_finer_precision_and_full_volumes(self):
+        # With a zero-cost latency model every candidate has an identical
+        # objective, so the documented tie-breaks decide: finer precision
+        # first, then larger total volume (the greedy fill reaches every
+        # ceiling because nothing ever overshoots the target).
+        zero = StageLatencyModel(q0=0.0, q1=0.0, q2=0.0, q3=0.0)
+        model = PipelineLatencyModel(
+            stages={stage: zero for stage in SOLVER_STAGES}, fixed_overhead_s=0.0
+        )
+        solver = KnobSolver(latency_model=model)
+        profile = make_profile(
+            gap_min=0.3, gap_avg=30.0, closest_obstacle=40.0, sensor_volume=200_000.0
+        )
+        result = solver.solve(5.0, profile)
+        assert result.feasible
+        policy = result.policy
+        limits = KnobLimits()
+        assert policy.point_cloud_precision == pytest.approx(0.3)
+        assert policy.map_to_planner_precision == pytest.approx(0.3)
+        assert policy.octomap_volume == pytest.approx(limits.octomap_volume_max)
+        assert policy.map_to_planner_volume == pytest.approx(200_000.0)
+        assert policy.planner_volume == pytest.approx(limits.planner_volume_max)
 
 
 class TestGovernor:

@@ -1,0 +1,314 @@
+"""Tests for the incremental spatial index and the index-backed octree paths."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.grid import voxel_center, voxel_key
+from repro.geometry.vec3 import Vec3
+from repro.perception.octomap import OccupancyOctree
+from repro.perception.point_cloud import PointCloudKernel
+from repro.perception.spatial_index import (
+    SpatialIndex,
+    cell_margin_radius,
+    neighbour_offsets,
+    point_hits_cells,
+    segment_hits_cells,
+)
+
+
+def brute_force_nearest(occupied, vox_min, point, max_radius):
+    """The pre-index linear scan, kept as the reference implementation."""
+    best_sq = max_radius * max_radius
+    for key in occupied:
+        center = voxel_center(key, vox_min)
+        d_sq = (
+            (center.x - point.x) ** 2
+            + (center.y - point.y) ** 2
+            + (center.z - point.z) ** 2
+        )
+        if d_sq < best_sq:
+            best_sq = d_sq
+    return math.sqrt(best_sq)
+
+
+def brute_force_coarse(occupied, level):
+    factor = 2**level
+    cells = {}
+    for (i, j, k) in occupied:
+        coarse = (i // factor, j // factor, k // factor)
+        cells[coarse] = cells.get(coarse, 0) + 1
+    return cells
+
+
+class TestSpatialIndexMaintenance:
+    def test_add_remove_roundtrip(self):
+        index = SpatialIndex(vox_min=0.3, levels=6)
+        assert index.add((1, 2, 3))
+        assert not index.add((1, 2, 3)), "double add must be a no-op"
+        assert (1, 2, 3) in index
+        assert len(index) == 1
+        assert index.remove((1, 2, 3))
+        assert not index.remove((1, 2, 3)), "double remove must be a no-op"
+        assert len(index) == 0
+        assert index.matches(set())
+
+    def test_level_counts_aggregate(self):
+        index = SpatialIndex(vox_min=0.3, levels=4)
+        keys = [(0, 0, 0), (1, 0, 0), (1, 1, 1), (8, 0, 0), (-1, -1, -1)]
+        for key in keys:
+            index.add(key)
+        for level in range(4):
+            assert dict(index.level_cells(level)) == brute_force_coarse(set(keys), level)
+
+    def test_negative_keys_bucket_correctly(self):
+        index = SpatialIndex(vox_min=0.5, levels=3)
+        index.add((-1, -9, -17))
+        assert index.matches({(-1, -9, -17)})
+        index.remove((-1, -9, -17))
+        assert index.matches(set())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpatialIndex(vox_min=0.0, levels=3)
+        with pytest.raises(ValueError):
+            SpatialIndex(vox_min=0.3, levels=0)
+        with pytest.raises(ValueError):
+            SpatialIndex(vox_min=0.3, levels=3, bucket_resolution=0.1)
+        index = SpatialIndex(vox_min=0.3, levels=3)
+        with pytest.raises(ValueError):
+            index.level_cells(3)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-40, max_value=40),
+                st.integers(min_value=-40, max_value=40),
+                st.integers(min_value=-40, max_value=40),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_index_stays_consistent_under_random_workload(self, ops):
+        index = SpatialIndex(vox_min=0.3, levels=5)
+        shadow = set()
+        for (i, j, k, insert) in ops:
+            key = (i, j, k)
+            if insert:
+                index.add(key)
+                shadow.add(key)
+            else:
+                index.remove(key)
+                shadow.discard(key)
+        assert index.matches(shadow)
+
+
+class TestNearestOccupiedDistance:
+    @given(
+        st.lists(
+            st.builds(
+                Vec3,
+                st.floats(min_value=-25, max_value=25),
+                st.floats(min_value=-25, max_value=25),
+                st.floats(min_value=0, max_value=12),
+            ),
+            min_size=0,
+            max_size=60,
+        ),
+        st.builds(
+            Vec3,
+            st.floats(min_value=-30, max_value=30),
+            st.floats(min_value=-30, max_value=30),
+            st.floats(min_value=0, max_value=12),
+        ),
+        st.floats(min_value=1.0, max_value=60.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, points, query, max_radius):
+        octree = OccupancyOctree(vox_min=0.3, levels=6)
+        for p in points:
+            octree.mark_occupied(p)
+        expected = brute_force_nearest(
+            octree.occupied_keys(), octree.vox_min, query, max_radius
+        )
+        actual = octree.nearest_occupied_distance(query, max_radius)
+        assert actual == pytest.approx(expected, rel=1e-12, abs=1e-12)
+
+    def test_empty_map_returns_max_radius(self):
+        octree = OccupancyOctree(vox_min=0.3)
+        assert octree.nearest_occupied_distance(Vec3(5, 5, 5), 17.5) == 17.5
+
+    def test_far_obstacle_beyond_radius(self):
+        octree = OccupancyOctree(vox_min=0.3)
+        octree.mark_occupied(Vec3(100, 0, 0))
+        assert octree.nearest_occupied_distance(Vec3(0, 0, 0), 10.0) == 10.0
+
+
+class TestIndexBackedOctreePaths:
+    def random_octree(self, seed=3, n=400):
+        rng = random.Random(seed)
+        octree = OccupancyOctree(vox_min=0.3, levels=6)
+        for _ in range(n):
+            octree.mark_occupied(
+                Vec3(rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(0, 10))
+            )
+        return octree
+
+    def test_coarse_cells_match_brute_force_after_mutations(self):
+        octree = self.random_octree()
+        # Mutate through every code path: insertion, clearing, forgetting.
+        cloud = PointCloudKernel.from_points(
+            Vec3(0, 0, 5), [Vec3(10, 0, 5), Vec3(0, 10, 5)], resolution=0.3
+        )
+        octree.insert_point_cloud(cloud, ray_step=0.3)
+        octree.forget_beyond(Vec3(0, 0, 5), radius=15.0)
+        occupied = octree.occupied_keys()
+        for precision in (0.3, 0.6, 1.2, 2.4, 4.8, 9.6):
+            level = octree.coarsen_level_for(precision)
+            assert octree.coarse_occupied_cells(precision) == brute_force_coarse(
+                occupied, level
+            )
+
+    def test_forget_beyond_matches_direct_predicate(self):
+        octree = self.random_octree(seed=9)
+        center = Vec3(2, -3, 4)
+        radius = 11.0
+        expected_kept = {
+            k
+            for k in octree.occupied_keys()
+            if voxel_center(k, octree.vox_min).distance_to(center) <= radius
+        }
+        octree.forget_beyond(center, radius)
+        assert octree.occupied_keys() == expected_kept
+
+    def test_build_tree_matches_occupancy(self):
+        octree = self.random_octree(seed=5, n=150)
+        root = octree.build_tree()
+        assert root.occupied_leaves == octree.occupied_voxel_count()
+        leaves = root.leaves()
+        assert len(leaves) == octree.occupied_voxel_count()
+        leaf_keys = {voxel_key(leaf.center, octree.vox_min) for leaf in leaves}
+        assert leaf_keys == octree.occupied_keys()
+        # Parent bookkeeping: every internal node's count equals its children's.
+        def check(node):
+            if node.children:
+                assert node.occupied_leaves == sum(
+                    c.occupied_leaves for c in node.children
+                )
+                for child in node.children:
+                    check(child)
+
+        check(root)
+
+    def test_build_tree_children_sorted(self):
+        octree = self.random_octree(seed=7, n=80)
+        def check(node):
+            if not node.children:
+                return
+            keys = [
+                voxel_key(c.center, c.size) for c in node.children
+            ]
+            assert keys == sorted(keys)
+            for child in node.children:
+                check(child)
+
+        check(octree.build_tree())
+
+    def test_segment_occupied_matches_pointwise_probes(self):
+        octree = OccupancyOctree(vox_min=0.3, levels=6)
+        for i in range(10):
+            octree.mark_occupied(Vec3(6.0, -1.5 + 0.3 * i, 5.0))
+        # Straight through the wall.
+        assert octree.segment_occupied(Vec3(0, 0, 5), Vec3(12, 0, 5), step=0.3)
+        # Parallel to the wall, clear.
+        assert not octree.segment_occupied(Vec3(0, 5, 5), Vec3(12, 5, 5), step=0.3)
+        # Lateral tube catches a graze one voxel to the side of the centre line.
+        graze_start, graze_end = Vec3(6.45, -1.0, 5.0), Vec3(6.45, 1.0, 5.0)
+        assert not octree.segment_occupied(graze_start, graze_end, step=0.3)
+        assert octree.segment_occupied(graze_start, graze_end, step=0.3, lateral=0.3)
+
+    def test_segment_occupied_include_start(self):
+        octree = OccupancyOctree(vox_min=0.3)
+        octree.mark_occupied(Vec3(0.15, 0.15, 0.15))
+        start = Vec3(0.15, 0.15, 0.15)
+        end = Vec3(5.0, 0.15, 0.15)
+        assert octree.segment_occupied(start, end, step=0.3, include_start=True)
+        assert not octree.segment_occupied(start, end, step=0.3, include_start=False)
+
+    def test_segment_occupied_validates_step(self):
+        octree = OccupancyOctree(vox_min=0.3)
+        octree.mark_occupied(Vec3(1, 1, 1))
+        with pytest.raises(ValueError):
+            octree.segment_occupied(Vec3(0, 0, 0), Vec3(1, 1, 1), step=0.0)
+
+    @given(
+        st.lists(
+            st.builds(
+                Vec3,
+                st.floats(min_value=-10, max_value=10),
+                st.floats(min_value=-10, max_value=10),
+                st.floats(min_value=0, max_value=8),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.builds(
+            Vec3,
+            st.floats(min_value=-12, max_value=12),
+            st.floats(min_value=-12, max_value=12),
+            st.floats(min_value=0, max_value=8),
+        ),
+        st.builds(
+            Vec3,
+            st.floats(min_value=-12, max_value=12),
+            st.floats(min_value=-12, max_value=12),
+            st.floats(min_value=0, max_value=8),
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_segment_occupied_matches_is_occupied_sampling(self, points, a, b):
+        octree = OccupancyOctree(vox_min=0.3, levels=6)
+        for p in points:
+            octree.mark_occupied(p)
+        step = 0.3
+        length = a.distance_to(b)
+        intervals = max(1, int(length / step))
+        expected = any(
+            octree.is_occupied(a.lerp(b, i / intervals)) for i in range(intervals + 1)
+        )
+        assert octree.segment_occupied(a, b, step=step) == expected
+
+
+class TestCellHelpers:
+    def test_neighbour_offsets_sizes(self):
+        assert len(neighbour_offsets(0)) == 1
+        assert len(neighbour_offsets(1)) == 27
+        assert len(neighbour_offsets(2)) == 125
+        with pytest.raises(ValueError):
+            neighbour_offsets(-1)
+
+    def test_cell_margin_radius(self):
+        assert cell_margin_radius(0.0, 0.3) == 0
+        assert cell_margin_radius(0.3, 0.3) == 1
+        assert cell_margin_radius(10.0, 0.3) == 2
+
+    def test_point_hits_cells_margin(self):
+        cells = {(10, 0, 0)}
+        probe = Vec3(10 * 0.3 + 0.15, 0.45, 0.15)  # one cell over in y
+        assert not point_hits_cells(cells, 0.3, probe)
+        assert point_hits_cells(cells, 0.3, probe, margin=0.3)
+
+    def test_segment_hits_cells_step_clamped(self):
+        # A single thin cell must be found even with a huge requested step.
+        cells = {(10, 0, 0)}
+        assert segment_hits_cells(cells, 0.3, Vec3(0, 0.15, 0.15), Vec3(6, 0.15, 0.15), step=5.0)
+
+    def test_segment_hits_cells_empty_and_invalid(self):
+        assert not segment_hits_cells(frozenset(), 0.3, Vec3(0, 0, 0), Vec3(1, 0, 0))
+        with pytest.raises(ValueError):
+            segment_hits_cells({(0, 0, 0)}, 0.3, Vec3(0, 0, 0), Vec3(1, 0, 0), step=0.0)

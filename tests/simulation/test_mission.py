@@ -10,6 +10,8 @@ from repro import (
     RoboRunRuntime,
     SpatialObliviousRuntime,
 )
+from repro.geometry.vec3 import Vec3
+from repro.planning.trajectory import Trajectory, TrajectoryPoint
 from repro.simulation.metrics import (
     summarise_zone_latency_variation,
     summarise_zone_velocity,
@@ -114,6 +116,59 @@ class TestMissionLoop:
         d = roborun_result.metrics.as_dict()
         assert d["mission_time_s"] == pytest.approx(roborun_result.metrics.mission_time_s)
         assert d["energy_kj"] == pytest.approx(roborun_result.metrics.energy_j / 1000.0)
+
+
+class TestTrajectoryBlockedAnchoring:
+    """Regression tests for the blocked-path check's start-index lookup."""
+
+    def make_simulator(self):
+        env = EnvironmentGenerator().generate(
+            EnvironmentConfig(
+                obstacle_density=0.05, obstacle_spread=30.0, goal_distance=60.0, seed=3
+            )
+        )
+        return MissionSimulator(env, RoboRunRuntime(), FAST_CFG)
+
+    def loop_trajectory(self):
+        """A path that revisits its start: A → B → A → C."""
+        a = Vec3(0.0, 0.0, 5.0)
+        b = Vec3(20.0, 0.0, 5.0)
+        c = Vec3(0.0, 40.0, 5.0)
+        v = Vec3(2.0, 0.0, 0.0)
+        return (
+            Trajectory(
+                [
+                    TrajectoryPoint(0.0, a, v),
+                    TrajectoryPoint(10.0, b, v),
+                    TrajectoryPoint(20.0, a, v),
+                    TrajectoryPoint(30.0, c, v),
+                ]
+            ),
+            a,
+            b,
+        )
+
+    def test_duplicate_waypoint_anchors_ahead_of_drone(self):
+        # The drone has flown A → B → A; the only mapped obstacle sits on the
+        # already-consumed A → B leg.  Re-finding the anchor by position
+        # equality lands on the *first* A and reports the path behind the
+        # drone as blocked; anchoring by sample index must look ahead (A → C,
+        # which is clear) and report the trajectory as flyable.
+        sim = self.make_simulator()
+        trajectory, a, _ = self.loop_trajectory()
+        octree = sim.operators.octree
+        for dy in (-0.3, 0.0, 0.3):
+            octree.mark_occupied(Vec3(10.0, dy, 5.0))
+        assert not sim._trajectory_blocked(trajectory, a)
+
+    def test_obstacle_ahead_is_still_caught(self):
+        # From B the path ahead (B → A) does cross the mapped obstacle.
+        sim = self.make_simulator()
+        trajectory, _, b = self.loop_trajectory()
+        octree = sim.operators.octree
+        for dy in (-0.3, 0.0, 0.3):
+            octree.mark_occupied(Vec3(10.0, dy, 5.0))
+        assert sim._trajectory_blocked(trajectory, b)
 
 
 class TestMissionConfigValidation:
