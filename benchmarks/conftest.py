@@ -7,6 +7,10 @@ density) keeps the full benchmark suite runnable in minutes of pure Python
 while preserving the A/B *shape* — which design wins and by roughly what
 factor — that EXPERIMENTS.md records.  Scale the parameters back up for a
 full-fidelity run.
+
+The benchmarks are built on the scenario layer: each mission is a
+:class:`ScenarioSpec`, and multi-mission sweeps go through the
+:class:`CampaignRunner` so they parallelise across cores where available.
 """
 
 import sys
@@ -19,12 +23,10 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro import (  # noqa: E402
+    CampaignRunner,
     EnvironmentConfig,
-    EnvironmentGenerator,
     MissionConfig,
-    MissionSimulator,
-    RoboRunRuntime,
-    SpatialObliviousRuntime,
+    ScenarioSpec,
 )
 
 # Reduced-scale stand-in for the paper's mid-difficulty environment.
@@ -34,19 +36,27 @@ BENCH_ENV = EnvironmentConfig(
 BENCH_MISSION = MissionConfig(max_decisions=500, max_mission_time_s=1500.0)
 
 
-def run_mission(design: str, env_config: EnvironmentConfig = BENCH_ENV, mission=BENCH_MISSION):
-    """Fly one mission for the named design and return its MissionResult."""
-    env = EnvironmentGenerator().generate(env_config)
-    runtime = RoboRunRuntime() if design == "roborun" else SpatialObliviousRuntime()
-    return MissionSimulator(env, runtime, mission).run()
+def bench_spec(design: str, env_config: EnvironmentConfig = BENCH_ENV, mission=BENCH_MISSION):
+    """The scenario spec for one benchmark mission of the named design."""
+    return ScenarioSpec(
+        name=f"bench_{design}_{env_config.label()}",
+        design=design,
+        environment=env_config,
+        mission=mission,
+    )
 
 
 @pytest.fixture(scope="session")
 def mission_pair():
-    """One RoboRun mission and one baseline mission on the shared environment."""
+    """One RoboRun mission and one baseline mission on the shared environment.
+
+    The pair is flown as a two-scenario campaign (parallel when the machine
+    has the cores for it) with full results kept for the trace-level figures.
+    """
+    specs = [bench_spec("roborun"), bench_spec("spatial_oblivious")]
+    campaign = CampaignRunner().run(specs, keep_results=True)
     return {
-        "roborun": run_mission("roborun"),
-        "spatial_oblivious": run_mission("spatial_oblivious"),
+        outcome.spec.design: outcome.result for outcome in campaign.outcomes
     }
 
 

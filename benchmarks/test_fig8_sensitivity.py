@@ -11,11 +11,12 @@ RoboRun is expected to be the *more* sensitive design for density/spread
 import dataclasses
 
 import pytest
-from conftest import BENCH_ENV, BENCH_MISSION, print_table, run_mission
+from conftest import BENCH_ENV, BENCH_MISSION, bench_spec, print_table
 
 # Mission-level benchmark: flies full missions through the simulator.
 pytestmark = pytest.mark.slow
 
+from repro import CampaignRunner
 from repro.environment.generator import (
     DENSITY_LEVELS,
     GOAL_DISTANCE_LEVELS_M,
@@ -40,14 +41,20 @@ def test_fig8a_evaluation_scenarios(benchmark):
 
 
 def _sweep(knob, low, high):
+    """Fly the 2x2 sweep (design x knob value) as one parallel campaign."""
+    designs = ("spatial_oblivious", "roborun")
+    specs = [
+        bench_spec(design, dataclasses.replace(BENCH_ENV, **{knob: value}), BENCH_MISSION)
+        for design in designs
+        for value in (low, high)
+    ]
+    campaign = CampaignRunner().run(specs)
+
     rows = [["design", f"{knob}={low}", f"{knob}={high}", "flight-time ratio"]]
     ratios = {}
-    for design in ("spatial_oblivious", "roborun"):
-        times = []
-        for value in (low, high):
-            cfg = dataclasses.replace(BENCH_ENV, **{knob: value})
-            result = run_mission(design, cfg, BENCH_MISSION)
-            times.append(result.metrics.mission_time_s)
+    by_design = campaign.by_design()
+    for design in designs:
+        times = [o.metrics["mission_time_s"] for o in by_design[design]]
         ratio = times[1] / times[0] if times[0] > 0 else float("inf")
         ratios[design] = ratio
         rows.append([design, round(times[0], 1), round(times[1], 1), round(ratio, 2)])

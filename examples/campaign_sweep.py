@@ -1,0 +1,84 @@
+"""Campaign sweep: a grid of scenarios plus fault injections, run in parallel.
+
+The closest thing to the paper's 27-environment evaluation at example scale:
+a density x goal-distance grid for both designs (eight scenarios), plus two
+fault-injection scenarios — periodic sensor dropout and a mid-mission camera
+degradation — fanned across a process pool by the :class:`CampaignRunner`
+and folded into one per-design summary table.
+
+Run with::
+
+    python examples/campaign_sweep.py
+"""
+
+from repro import (
+    CameraDegradation,
+    CampaignRunner,
+    EnvironmentConfig,
+    FaultSet,
+    MissionConfig,
+    ScenarioSpec,
+    SensorDropout,
+    scenario_grid,
+)
+
+BASE_ENV = EnvironmentConfig(obstacle_density=0.3, obstacle_spread=40.0, goal_distance=80.0)
+MISSION = MissionConfig(max_decisions=250, max_mission_time_s=600.0)
+
+
+def build_specs() -> list[ScenarioSpec]:
+    specs = scenario_grid(
+        "sweep",
+        densities=(0.3, 0.5),
+        goal_distances=(60.0, 90.0),
+        base_environment=BASE_ENV,
+        mission=MISSION,
+        base_seed=21,
+    )
+    faulty_env = BASE_ENV
+    specs.append(
+        ScenarioSpec(
+            name="sweep_roborun_dropout",
+            design="roborun",
+            environment=faulty_env,
+            mission=MISSION,
+            faults=FaultSet(sensor_dropout=SensorDropout(every_n=4)),
+        ).seeded(41)
+    )
+    specs.append(
+        ScenarioSpec(
+            name="sweep_roborun_degraded_camera",
+            design="roborun",
+            environment=faulty_env,
+            mission=MISSION,
+            faults=FaultSet(
+                camera_degradation=CameraDegradation(width=6, height=4, after_decision=20)
+            ),
+        ).seeded(42)
+    )
+    return specs
+
+
+def main() -> None:
+    specs = build_specs()
+    print(f"Flying a {len(specs)}-scenario campaign "
+          f"({sum(1 for s in specs if s.faults.active())} with injected faults) ...")
+    campaign = CampaignRunner().run(specs)
+
+    print(f"\n{'scenario':<42}{'success':>8}{'time (s)':>10}{'vel (m/s)':>11}")
+    for outcome in campaign.outcomes:
+        m = outcome.metrics
+        print(
+            f"{outcome.spec.name:<42}"
+            f"{str(bool(m['success'])):>8}"
+            f"{m['mission_time_s']:>10.1f}"
+            f"{m['mean_velocity_mps']:>11.2f}"
+        )
+
+    print("\nPer-design summary:")
+    for design, stats in campaign.summary().items():
+        print(f"  {design}: " + ", ".join(f"{k}={v:.3g}" for k, v in stats.items()))
+
+
+if __name__ == "__main__":
+    main()

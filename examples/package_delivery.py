@@ -13,25 +13,20 @@ Run with::
 
 from collections import defaultdict
 
-from repro import (
-    EnvironmentConfig,
-    EnvironmentGenerator,
-    MissionConfig,
-    MissionSimulator,
-    RoboRunRuntime,
-)
+from repro import EnvironmentConfig, MissionConfig, ScenarioSpec
 
 
 def main() -> None:
-    env_config = EnvironmentConfig(
-        obstacle_density=0.45, obstacle_spread=40.0, goal_distance=150.0, seed=5
-    )
-    environment = EnvironmentGenerator().generate(env_config)
-    simulator = MissionSimulator(
-        environment, RoboRunRuntime(), MissionConfig(max_decisions=700)
+    spec = ScenarioSpec(
+        name="package_delivery",
+        design="roborun",
+        environment=EnvironmentConfig(
+            obstacle_density=0.45, obstacle_spread=40.0, goal_distance=150.0, seed=5
+        ),
+        mission=MissionConfig(max_decisions=700),
     )
     print("Flying the package-delivery mission with RoboRun ...")
-    result = simulator.run()
+    result = spec.run()
 
     per_zone = defaultdict(list)
     for trace in result.traces:

@@ -1,7 +1,7 @@
 """Quickstart: fly one RoboRun mission and one static-baseline mission.
 
-Generates a small congestion-cluster environment, flies it with both the
-spatial-aware RoboRun runtime and the static spatial-oblivious baseline, and
+Declares the two missions as :class:`ScenarioSpec`s, flies them as a
+two-scenario campaign (in parallel when the machine has the cores) and
 prints the Figure-7-style mission metrics side by side.
 
 Run with::
@@ -9,14 +9,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import (
-    EnvironmentConfig,
-    EnvironmentGenerator,
-    MissionConfig,
-    MissionSimulator,
-    RoboRunRuntime,
-    SpatialObliviousRuntime,
-)
+from repro import CampaignRunner, EnvironmentConfig, MissionConfig, ScenarioSpec
 
 
 def main() -> None:
@@ -24,28 +17,31 @@ def main() -> None:
         obstacle_density=0.3, obstacle_spread=40.0, goal_distance=120.0, seed=11
     )
     mission_config = MissionConfig(max_decisions=500, max_mission_time_s=1500.0)
+    specs = [
+        ScenarioSpec(
+            name=design,
+            design=design,
+            environment=env_config,
+            mission=mission_config,
+        )
+        for design in ("roborun", "spatial_oblivious")
+    ]
 
     print(f"Environment: {env_config.label()}")
-    results = {}
-    for name, runtime in (
-        ("roborun", RoboRunRuntime()),
-        ("spatial_oblivious", SpatialObliviousRuntime()),
-    ):
-        environment = EnvironmentGenerator().generate(env_config)
-        simulator = MissionSimulator(environment, runtime, mission_config)
-        print(f"Flying {name} ...")
-        results[name] = simulator.run()
+    print(f"Flying {len(specs)} scenarios ...")
+    campaign = CampaignRunner().run(specs)
+    metrics = {o.spec.design: o.metrics for o in campaign.outcomes}
 
     print(f"\n{'metric':<28}{'spatial_oblivious':>20}{'roborun':>14}")
-    roborun = results["roborun"].metrics
-    baseline = results["spatial_oblivious"].metrics
+    roborun = metrics["roborun"]
+    baseline = metrics["spatial_oblivious"]
     rows = [
-        ("success", baseline.success, roborun.success),
-        ("mission time (s)", round(baseline.mission_time_s, 1), round(roborun.mission_time_s, 1)),
-        ("mean velocity (m/s)", round(baseline.mean_velocity_mps, 2), round(roborun.mean_velocity_mps, 2)),
-        ("energy (kJ)", round(baseline.energy_j / 1e3, 1), round(roborun.energy_j / 1e3, 1)),
-        ("CPU utilization", round(baseline.mean_cpu_utilization, 3), round(roborun.mean_cpu_utilization, 3)),
-        ("median latency (s)", round(baseline.median_latency_s, 3), round(roborun.median_latency_s, 3)),
+        ("success", bool(baseline["success"]), bool(roborun["success"])),
+        ("mission time (s)", round(baseline["mission_time_s"], 1), round(roborun["mission_time_s"], 1)),
+        ("mean velocity (m/s)", round(baseline["mean_velocity_mps"], 2), round(roborun["mean_velocity_mps"], 2)),
+        ("energy (kJ)", round(baseline["energy_kj"], 1), round(roborun["energy_kj"], 1)),
+        ("CPU utilization", round(baseline["mean_cpu_utilization"], 3), round(roborun["mean_cpu_utilization"], 3)),
+        ("median latency (s)", round(baseline["median_latency_s"], 3), round(roborun["median_latency_s"], 3)),
     ]
     for label, b, r in rows:
         print(f"{label:<28}{b!s:>20}{r!s:>14}")

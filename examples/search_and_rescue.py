@@ -3,7 +3,8 @@
 The second mission class the paper motivates: medical equipment must reach
 patients quickly, so mission time matters most and the goal is far away.
 This example compares RoboRun against the static baseline at two goal
-distances and reports how much each design's mission time grows — the
+distances — all four missions declared as scenario specs and flown as one
+campaign — and reports how much each design's mission time grows: the
 goal-distance sensitivity of Figure 8d (the baseline, pinned to its
 conservative fixed velocity, suffers more from longer missions).
 
@@ -12,38 +13,41 @@ Run with::
     python examples/search_and_rescue.py
 """
 
-from repro import (
-    EnvironmentConfig,
-    EnvironmentGenerator,
-    MissionConfig,
-    MissionSimulator,
-    RoboRunRuntime,
-    SpatialObliviousRuntime,
-)
+from repro import CampaignRunner, EnvironmentConfig, MissionConfig, ScenarioSpec
 
 GOAL_DISTANCES = (100.0, 180.0)
-
-
-def fly(design: str, goal_distance: float) -> float:
-    env_config = EnvironmentConfig(
-        obstacle_density=0.3, obstacle_spread=40.0, goal_distance=goal_distance, seed=11
-    )
-    runtime = RoboRunRuntime() if design == "roborun" else SpatialObliviousRuntime()
-    environment = EnvironmentGenerator().generate(env_config)
-    result = MissionSimulator(
-        environment, runtime, MissionConfig(max_decisions=700, max_mission_time_s=2500.0)
-    ).run()
-    return result.metrics.mission_time_s
+DESIGNS = ("spatial_oblivious", "roborun")
 
 
 def main() -> None:
-    print("Search and rescue: mission time vs goal distance\n")
-    print(f"{'design':<20}" + "".join(f"{int(d)} m".rjust(12) for d in GOAL_DISTANCES) + "ratio".rjust(10))
-    for design in ("spatial_oblivious", "roborun"):
-        times = []
-        for distance in GOAL_DISTANCES:
-            print(f"  flying {design} to {distance:.0f} m ...", flush=True)
-            times.append(fly(design, distance))
+    specs = [
+        ScenarioSpec(
+            name=f"sar_{design}_{int(distance)}m",
+            design=design,
+            environment=EnvironmentConfig(
+                obstacle_density=0.3,
+                obstacle_spread=40.0,
+                goal_distance=distance,
+                seed=11,
+            ),
+            mission=MissionConfig(max_decisions=700, max_mission_time_s=2500.0),
+        )
+        for design in DESIGNS
+        for distance in GOAL_DISTANCES
+    ]
+
+    print("Search and rescue: mission time vs goal distance")
+    print(f"Flying {len(specs)} scenarios ...\n")
+    campaign = CampaignRunner().run(specs)
+    by_design = campaign.by_design()
+
+    print(
+        f"{'design':<20}"
+        + "".join(f"{int(d)} m".rjust(12) for d in GOAL_DISTANCES)
+        + "ratio".rjust(10)
+    )
+    for design in DESIGNS:
+        times = [o.metrics["mission_time_s"] for o in by_design[design]]
         ratio = times[-1] / times[0] if times[0] > 0 else float("inf")
         print(f"{design:<20}" + "".join(f"{t:12.1f}" for t in times) + f"{ratio:10.2f}")
     print("\nExpected shape: the baseline's mission time grows faster with goal"

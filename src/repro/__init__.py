@@ -33,15 +33,24 @@ from repro.environment.generator import (
     EnvironmentGenerator,
     GeneratedEnvironment,
 )
+from repro.simulation.campaign import CampaignResult, CampaignRunner, ScenarioOutcome
+from repro.simulation.faults import CameraDegradation, FaultSet, SensorDropout
 from repro.simulation.metrics import DecisionTrace, MissionMetrics
 from repro.simulation.mission import MissionConfig, MissionResult, MissionSimulator
+from repro.simulation.pipeline import DecisionPipeline, PipelineHop
+from repro.simulation.scenario import ScenarioSpec, scenario_grid
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "CameraDegradation",
+    "CampaignResult",
+    "CampaignRunner",
+    "DecisionPipeline",
     "DecisionTrace",
     "EnvironmentConfig",
     "EnvironmentGenerator",
+    "FaultSet",
     "GeneratedEnvironment",
     "Governor",
     "GovernorDecision",
@@ -53,12 +62,17 @@ __all__ = [
     "MissionResult",
     "MissionSimulator",
     "OperatorSet",
+    "PipelineHop",
     "ProfilerSuite",
     "RoboRunRuntime",
     "STATIC_BASELINE_POLICY",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "SensorDropout",
     "SolverResult",
     "SpaceProfile",
     "SpatialObliviousRuntime",
     "TimeBudgeter",
     "__version__",
+    "scenario_grid",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Tuple
+from typing import Any, Callable, Deque, List, Tuple
 
 from repro.middleware.clock import SimClock
 from repro.middleware.message import Message
@@ -35,11 +35,15 @@ class Executor:
     the processed-message count are centralised.
     """
 
-    def __init__(self, bus: TopicBus, clock: SimClock) -> None:
+    def __init__(
+        self, bus: TopicBus, clock: SimClock, record_dispatch: bool = False
+    ) -> None:
         self.bus = bus
         self.clock = clock
         self._queue: Deque[_PendingDispatch] = deque()
         self._dispatched = 0
+        self._record_dispatch = record_dispatch
+        self._dispatch_log: List[Tuple[str, str]] = []
 
     # ------------------------------------------------------------------
     # Publication
@@ -74,6 +78,8 @@ class Executor:
         if not self._queue:
             return False
         pending = self._queue.popleft()
+        if self._record_dispatch:
+            self._dispatch_log.append((pending.topic_name, pending.message.header.frame_id))
         pending.callback(pending.message)
         self._dispatched += 1
         return True
@@ -115,3 +121,13 @@ class Executor:
     def dispatched(self) -> int:
         """Total callbacks delivered since construction."""
         return self._dispatched
+
+    @property
+    def dispatch_log(self) -> List[Tuple[str, str]]:
+        """(topic, publishing frame) per delivered callback, in dispatch order.
+
+        Empty unless the executor was built with ``record_dispatch=True``.
+        The log is the determinism witness for the node graph: two missions
+        with the same seed must produce identical logs.
+        """
+        return list(self._dispatch_log)

@@ -94,6 +94,41 @@ class CameraRig:
         )
         return RigScan(position=position, images=images)
 
+    def with_resolution(self, width: int, height: int) -> "CameraRig":
+        """A rig identical to this one but capturing at a different resolution.
+
+        The fault-injection layer uses this to model a degraded camera: same
+        mounting, field of view and range, fewer pixels per frame.
+        """
+        return CameraRig(
+            camera_count=self.camera_count,
+            horizontal_fov_deg=self.horizontal_fov_deg,
+            vertical_fov_deg=self.vertical_fov_deg,
+            width=width,
+            height=height,
+            max_range=self.max_range,
+        )
+
+    def empty_scan(self, position: Vec3) -> RigScan:
+        """The scan a lost frame produces: every camera reports zero pixels.
+
+        Zero-pixel images keep every :class:`RigScan` aggregate well defined
+        (no hit points, nominal visibility, ``max_range`` minimum depth)
+        while charging no point-cloud conversion work.
+        """
+        images = tuple(
+            DepthImage(
+                origin=position,
+                directions=(),
+                depths=(),
+                max_range=camera.max_range,
+                width=0,
+                height=0,
+            )
+            for camera in self.cameras
+        )
+        return RigScan(position=position, images=images)
+
     def total_pixels(self) -> int:
         """Rays cast per scan (the raw point-cloud size upper bound)."""
         return sum(cam.pixel_count() for cam in self.cameras)

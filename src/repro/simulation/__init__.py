@@ -3,31 +3,58 @@
 The paper evaluates RoboRun with a hardware-in-the-loop setup: Unreal/AirSim
 simulates the world and the drone while the navigation workload runs on a
 separate machine.  This package replaces that loop with a deterministic,
-simulated-clock decision loop:
+simulated-clock decision pipeline built on the in-process middleware:
 
-1. the sensor rig captures the synthetic world from the drone's pose;
-2. the runtime under test (RoboRun or the static baseline) produces a knob
-   policy, a decision deadline and a velocity cap;
-3. the operators run the perception/planning pipeline under that policy and
-   report the work performed;
-4. the compute-cost model converts the work into per-stage latencies, which
-   are charged against the simulated clock; and
-5. the drone flies along its current trajectory for the duration of the
-   decision at the allowed velocity, with collisions checked against the
-   ground-truth world.
-
-:class:`~repro.simulation.mission.MissionSimulator` runs that loop;
-:class:`~repro.simulation.metrics.MissionMetrics` aggregates the mission-level
-metrics of Figure 7 and the traces behind Figures 10 and 11.
+* :mod:`repro.simulation.pipeline` — the six pipeline nodes (sense, profile,
+  governor, perception, planning, flight) exchanging typed messages over the
+  executor; one decision is one message cascade, and the ``comm_*`` latency
+  entries are hop records anchored to the messages that actually crossed the
+  bus.
+* :mod:`repro.simulation.mission` — the thin façade that wires the graph,
+  drives one sensor tick per decision and owns mission-level termination and
+  metric assembly.
+* :mod:`repro.simulation.scenario` / :mod:`repro.simulation.campaign` — the
+  declarative scenario layer: serialisable :class:`ScenarioSpec`s (with fault
+  injection from :mod:`repro.simulation.faults`) fanned across a process
+  pool by :class:`CampaignRunner` into an aggregated :class:`CampaignResult`.
 """
 
+from repro.simulation.campaign import CampaignResult, CampaignRunner, ScenarioOutcome
+from repro.simulation.faults import CameraDegradation, FaultSet, SensorDropout
 from repro.simulation.metrics import DecisionTrace, MissionMetrics
 from repro.simulation.mission import MissionConfig, MissionResult, MissionSimulator
+from repro.simulation.pipeline import (
+    DecisionPipeline,
+    FlightNode,
+    GovernorNode,
+    PerceptionNode,
+    PipelineHop,
+    PlanningNode,
+    ProfileNode,
+    SenseNode,
+)
+from repro.simulation.scenario import ScenarioSpec, scenario_grid
 
 __all__ = [
+    "CameraDegradation",
+    "CampaignResult",
+    "CampaignRunner",
+    "DecisionPipeline",
     "DecisionTrace",
+    "FaultSet",
+    "FlightNode",
+    "GovernorNode",
     "MissionConfig",
     "MissionMetrics",
     "MissionResult",
     "MissionSimulator",
+    "PerceptionNode",
+    "PipelineHop",
+    "PlanningNode",
+    "ProfileNode",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "SenseNode",
+    "SensorDropout",
+    "scenario_grid",
 ]

@@ -1,0 +1,185 @@
+"""Campaigns: many scenarios, one process pool, one aggregated result.
+
+The paper's evaluation flies 27 environments per design; the ROADMAP's north
+star is "as many scenarios as you can imagine".  A :class:`CampaignRunner`
+fans a list of :class:`~repro.simulation.scenario.ScenarioSpec`s across a
+``multiprocessing`` pool — one worker per mission, following the synchronous
+fan-out/fan-in parallelism GenTen-style sweep drivers use — and folds the
+per-mission metrics into a :class:`CampaignResult`.
+
+Determinism: specs carry their own seeds, workers receive plain dictionaries
+(no shared state), and results are collected in spec order regardless of
+which worker finishes first, so a campaign's aggregate is identical whether
+it runs serially or across any number of workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.simulation.mission import MissionResult
+from repro.simulation.scenario import ScenarioSpec
+
+
+def _run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: fly one scenario described as plain data.
+
+    Runs in a pool worker (or inline for serial campaigns); everything that
+    crosses the process boundary is a dictionary, so no live object graph is
+    pickled.  When the caller asked to keep full results, the heavyweight
+    pipeline (bus, executor, node callbacks) is stripped first.
+    """
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    result = spec.run()
+    row: Dict[str, Any] = {
+        "spec": payload["spec"],
+        "metrics": result.metrics.as_dict(),
+    }
+    if payload.get("keep_results"):
+        result.pipeline = None
+        row["result"] = result
+    return row
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioOutcome:
+    """One scenario's spec and the metrics its mission produced."""
+
+    spec: ScenarioSpec
+    metrics: Dict[str, float]
+    result: Optional[MissionResult] = None
+
+    @property
+    def success(self) -> bool:
+        return bool(self.metrics.get("success"))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"spec": self.spec.to_dict(), "metrics": dict(self.metrics)}
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcomes of one campaign, in spec order."""
+
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def by_design(self) -> Dict[str, List[ScenarioOutcome]]:
+        """Outcomes grouped by runtime design, preserving spec order."""
+        groups: Dict[str, List[ScenarioOutcome]] = {}
+        for outcome in self.outcomes:
+            groups.setdefault(outcome.spec.design, []).append(outcome)
+        return groups
+
+    def success_rate(self, design: Optional[str] = None) -> float:
+        """Fraction of missions that reached the goal without colliding."""
+        selected = self._select(design)
+        if not selected:
+            return 0.0
+        return sum(1 for o in selected if o.success) / len(selected)
+
+    def mean_metric(self, key: str, design: Optional[str] = None) -> float:
+        """Mean of one mission metric over the (optionally filtered) campaign."""
+        selected = self._select(design)
+        if not selected:
+            return 0.0
+        return sum(o.metrics[key] for o in selected) / len(selected)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-design mission-level summary (the Figure 7 quantities)."""
+        table: Dict[str, Dict[str, float]] = {}
+        for design, outcomes in self.by_design().items():
+            table[design] = {
+                "missions": float(len(outcomes)),
+                "success_rate": self.success_rate(design),
+                "mean_mission_time_s": self.mean_metric("mission_time_s", design),
+                "mean_velocity_mps": self.mean_metric("mean_velocity_mps", design),
+                "mean_energy_kj": self.mean_metric("energy_kj", design),
+                "mean_cpu_utilization": self.mean_metric(
+                    "mean_cpu_utilization", design
+                ),
+                "mean_median_latency_s": self.mean_metric(
+                    "median_latency_s", design
+                ),
+            }
+        return table
+
+    def _select(self, design: Optional[str]) -> List[ScenarioOutcome]:
+        if design is None:
+            return self.outcomes
+        return [o for o in self.outcomes if o.spec.design == design]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "summary": self.summary(),
+        }
+
+
+class CampaignRunner:
+    """Fans scenario specs across a process pool and aggregates the metrics.
+
+    Attributes:
+        max_workers: pool size; ``None`` sizes the pool to the machine
+            (capped by the campaign size), while 0 or 1 runs serially in
+            process — useful for debugging and for determinism checks
+            against a parallel run.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 0:
+            raise ValueError("max_workers cannot be negative")
+        self.max_workers = max_workers
+
+    def _pool_size(self, job_count: int) -> int:
+        if self.max_workers is not None:
+            return min(self.max_workers, job_count)
+        return min(os.cpu_count() or 1, job_count)
+
+    def run(
+        self, specs: Sequence[ScenarioSpec], keep_results: bool = False
+    ) -> CampaignResult:
+        """Fly every scenario and fold the outcomes, in spec order.
+
+        Args:
+            specs: the campaign's scenarios; names should be unique.
+            keep_results: also return each mission's full
+                :class:`MissionResult` (traces, ledger, environment) on the
+                outcome — heavier to transfer, needed by trace-level figures.
+        """
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("scenario names within a campaign must be unique")
+        payloads = [
+            {"spec": spec.to_dict(), "keep_results": keep_results} for spec in specs
+        ]
+        workers = self._pool_size(len(payloads))
+        if workers <= 1 or len(payloads) <= 1:
+            rows = [_run_payload(payload) for payload in payloads]
+        else:
+            # The platform-default start method: fork on Linux, spawn on
+            # macOS/Windows (forcing fork there crashes under framework
+            # threads).  Spawn works because workers receive plain
+            # dictionaries, the worker function is module-level and the
+            # parent's sys.path is propagated to the children.
+            context = multiprocessing.get_context()
+            with context.Pool(processes=workers) as pool:
+                rows = pool.map(_run_payload, payloads)
+
+        outcomes = [
+            ScenarioOutcome(
+                spec=spec,
+                metrics=row["metrics"],
+                result=row.get("result"),
+            )
+            for spec, row in zip(specs, rows)
+        ]
+        return CampaignResult(outcomes=outcomes)

@@ -1,0 +1,134 @@
+"""Fault injections for scenario specs.
+
+Real deployments lose sensor frames and fly with degraded cameras; the
+scenario layer injects both so campaigns can measure how gracefully each
+runtime design degrades.  Faults act at the :class:`~repro.simulation.
+pipeline.SenseNode` boundary — the rest of the pipeline sees ordinary (if
+impoverished) messages, exactly as a real pipeline would.
+
+Two fault classes are supported:
+
+* :class:`SensorDropout` — every n-th decision the camera rig produces no
+  frames at all; the pipeline runs on an empty scan (no new obstacle points,
+  full nominal visibility), so the map goes stale until the next good frame.
+* :class:`CameraDegradation` — from a given decision onward the rig captures
+  at a reduced resolution, modelling a damaged or thermally throttled sensor.
+
+All fault classes serialise to plain dictionaries so that
+:class:`~repro.simulation.scenario.ScenarioSpec` round-trips through JSON and
+crosses process boundaries in a campaign pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class SensorDropout:
+    """Periodic total loss of a sensor frame.
+
+    Attributes:
+        every_n: one decision out of every ``every_n`` loses its frame (the
+            last of each group, so the mission always starts on a good frame).
+        start_decision: decisions before this index never drop.
+    """
+
+    every_n: int
+    start_decision: int = 0
+
+    def __post_init__(self) -> None:
+        if self.every_n < 2:
+            raise ValueError("dropout every_n must be at least 2")
+        if self.start_decision < 0:
+            raise ValueError("start_decision cannot be negative")
+
+    def drops(self, decision_index: int) -> bool:
+        """True when the given decision's sensor frame is lost."""
+        if decision_index < self.start_decision:
+            return False
+        return (decision_index - self.start_decision) % self.every_n == self.every_n - 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"every_n": self.every_n, "start_decision": self.start_decision}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SensorDropout":
+        return cls(
+            every_n=int(data["every_n"]),
+            start_decision=int(data.get("start_decision", 0)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CameraDegradation:
+    """Permanent resolution loss from a given decision onward.
+
+    Attributes:
+        width / height: per-camera resolution after the fault strikes.
+        after_decision: first decision index captured at the reduced
+            resolution.
+    """
+
+    width: int
+    height: int
+    after_decision: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("degraded resolution must be at least 1x1")
+        if self.after_decision < 0:
+            raise ValueError("after_decision cannot be negative")
+
+    def active(self, decision_index: int) -> bool:
+        """True when captures at this decision use the degraded resolution."""
+        return decision_index >= self.after_decision
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "width": self.width,
+            "height": self.height,
+            "after_decision": self.after_decision,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CameraDegradation":
+        return cls(
+            width=int(data["width"]),
+            height=int(data["height"]),
+            after_decision=int(data.get("after_decision", 0)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSet:
+    """The faults injected into one scenario (both optional)."""
+
+    sensor_dropout: Optional[SensorDropout] = None
+    camera_degradation: Optional[CameraDegradation] = None
+
+    def active(self) -> bool:
+        """True when at least one fault is configured."""
+        return self.sensor_dropout is not None or self.camera_degradation is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sensor_dropout": self.sensor_dropout.to_dict() if self.sensor_dropout else None,
+            "camera_degradation": (
+                self.camera_degradation.to_dict() if self.camera_degradation else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> "FaultSet":
+        if not data:
+            return cls()
+        dropout = data.get("sensor_dropout")
+        degradation = data.get("camera_degradation")
+        return cls(
+            sensor_dropout=SensorDropout.from_dict(dropout) if dropout else None,
+            camera_degradation=(
+                CameraDegradation.from_dict(degradation) if degradation else None
+            ),
+        )

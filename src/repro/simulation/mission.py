@@ -5,53 +5,39 @@ rescue) through a generated environment under a given runtime (RoboRun or the
 spatial-oblivious baseline) and returns the mission-level metrics plus the
 per-decision traces the analysis layer turns into the paper's figures.
 
-The loop per decision:
-
-1. **Sense** — the six-camera rig captures the ground-truth world; the state
-   sensors report position and velocity.
-2. **Profile** — the profiler suite extracts the Table I spatial features
-   from the point cloud, the map, the trajectory and the state.
-3. **Decide** — the runtime produces the knob policy, the decision deadline
-   and the velocity cap (RoboRun runs its governor; the baseline returns its
-   fixed design point).
-4. **Enforce** — the operators run the perception and planning kernels under
-   the policy; piece-wise planning runs only when needed (no trajectory, the
-   current one is blocked or nearly consumed, or a periodic refresh).
-5. **Charge compute** — the workload cost model converts the kernels' work
-   into per-stage latencies, recorded in the latency ledger and charged
-   against the simulated clock.
-6. **Fly** — the drone follows its trajectory with a pure-pursuit follower at
-   the allowed velocity for the duration of the decision, checked against the
-   ground-truth world for collisions.
+The simulator is a thin façade over the node-based decision pipeline
+(:mod:`repro.simulation.pipeline`): it wires the six pipeline nodes —
+sense, profile, governor, perception, planning, flight — over the middleware
+bus, drives one sensor tick per decision, drains the executor until the
+cascade completes, and owns only the mission-level policy: termination
+(goal, collision, plan-failure and time limits), distance integration and
+metric assembly.  Stage logic, latency charging and the comm hops all live
+in the nodes.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Protocol, Sequence
 
-from repro.compute.costs import KernelWork, WorkloadCostModel
-from repro.compute.utilization import CpuUtilizationTracker
+from repro.compute.costs import WorkloadCostModel
 from repro.control.follower import PurePursuitFollower
 from repro.core.governor import GovernorDecision
-from repro.core.operators import OperatorSet, merge_work
+from repro.core.operators import OperatorSet
 from repro.core.profilers import ProfilerSuite, SpaceProfile
-from repro.dynamics.drone import DroneState, QuadrotorKinematics
+from repro.dynamics.drone import QuadrotorKinematics
 from repro.dynamics.energy import EnergyModel
 from repro.environment.generator import GeneratedEnvironment
-from repro.geometry.aabb import AABB
-from repro.geometry.vec3 import Vec3
-from repro.middleware.clock import SimClock
 from repro.middleware.latency import LatencyLedger
 from repro.perception.octomap import OccupancyOctree
 from repro.perception.point_cloud import PointCloudKernel
 from repro.planning.rrt_star import RRTStarConfig, RRTStarPlanner
 from repro.planning.smoothing import PathSmoother, SmoothingConfig
-from repro.planning.trajectory import Trajectory
 from repro.sensors.rig import CameraRig
 from repro.sensors.state_sensors import StateSensorSuite
+from repro.simulation.faults import FaultSet
 from repro.simulation.metrics import DecisionTrace, MissionMetrics
+from repro.simulation.pipeline import DecisionPipeline
 
 
 class Runtime(Protocol):
@@ -110,7 +96,7 @@ class MissionConfig:
     replan_remaining_m: float = 15.0
     replan_interval_decisions: int = 40
     block_check_distance_m: float = 25.0
-    flight_band_m: tuple = (2.0, 12.0)
+    flight_band_m: tuple[float, float] = (2.0, 12.0)
     emergency_brake_lookahead_s: float = 0.8
     max_decisions: int = 3000
     max_mission_time_s: float = 6000.0
@@ -132,6 +118,16 @@ class MissionConfig:
             raise ValueError("max_decisions must be at least 1")
         if self.planning_horizon_m <= 0:
             raise ValueError("planning horizon must be positive")
+        band = self.flight_band_m
+        if not isinstance(band, Sequence) or len(band) != 2:
+            raise ValueError("flight_band_m must be a (low, high) pair")
+        low, high = float(band[0]), float(band[1])
+        if not low < high:
+            raise ValueError(
+                f"flight_band_m must satisfy low < high, got ({band[0]}, {band[1]})"
+            )
+        # Normalise lists (e.g. from JSON round-trips) to a typed tuple.
+        object.__setattr__(self, "flight_band_m", (low, high))
 
 
 @dataclass
@@ -143,6 +139,7 @@ class MissionResult:
     ledger: LatencyLedger
     environment: GeneratedEnvironment
     design: str
+    pipeline: Optional[DecisionPipeline] = None
 
     def trace_values(self, attribute: str) -> List[float]:
         """Convenience accessor: one scalar per decision (e.g. 'speed')."""
@@ -161,6 +158,7 @@ class MissionSimulator:
         energy_model: Optional[EnergyModel] = None,
         kinematics: Optional[QuadrotorKinematics] = None,
         profilers: Optional[ProfilerSuite] = None,
+        faults: Optional[FaultSet] = None,
     ) -> None:
         self.environment = environment
         self.runtime = runtime
@@ -171,6 +169,7 @@ class MissionSimulator:
         self.profilers = profilers or ProfilerSuite(
             max_visibility=self.config.camera_range_m
         )
+        self.faults = faults or FaultSet()
 
         cfg = self.config
         self.rig = CameraRig(
@@ -197,160 +196,72 @@ class MissionSimulator:
         self.follower = PurePursuitFollower()
 
     # ------------------------------------------------------------------
+    # Graph wiring
+    # ------------------------------------------------------------------
+    def build_pipeline(self) -> DecisionPipeline:
+        """Wire a fresh node graph over the simulator's kernels and models.
+
+        Each call creates a new bus, executor, clock and accounting; the
+        pipeline shares the simulator's operator set, so the occupancy map
+        carries over between pipelines built by the same simulator (exactly
+        as repeated ``run()`` calls shared it before the node refactor).
+        """
+        return DecisionPipeline(
+            environment=self.environment,
+            runtime=self.runtime,
+            config=self.config,
+            cost_model=self.cost_model,
+            kinematics=self.kinematics,
+            profilers=self.profilers,
+            operators=self.operators,
+            rig=self.rig,
+            sensors=self.sensors,
+            follower=self.follower,
+            faults=self.faults,
+        )
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> MissionResult:
         """Fly the mission and return its metrics and traces."""
         cfg = self.config
         env = self.environment
-        clock = SimClock()
-        ledger = LatencyLedger()
-        cpu = CpuUtilizationTracker(sensor_period_s=cfg.sensor_period_s)
+        pipeline = self.build_pipeline()
+        clock = pipeline.clock
 
-        state = DroneState(time=0.0, position=env.start, velocity=Vec3.zero())
-        trajectory: Optional[Trajectory] = None
-        traces: List[DecisionTrace] = []
         distance_travelled = 0.0
         collided = False
         reached_goal = False
-        consecutive_plan_failures = 0
-        decisions_since_plan = 0
-        stalled_decisions = 0
 
         for decision_index in range(cfg.max_decisions):
             if clock.now > cfg.max_mission_time_s:
                 break
 
-            # 1. Sense.
-            scan = self.rig.capture(env.world, state.position)
-            estimate = self.sensors.estimate(clock.now, state.position, state.velocity)
+            outcome = pipeline.step(decision_index)
+            distance_travelled += outcome.flown
+            clock.advance(outcome.interval)
 
-            # 2. Profile.  The profiling cloud uses a fixed, modest resolution:
-            # profiling happens before the policy exists and its cost is part
-            # of the runtime overhead already charged by the cost model.
-            profiling_cloud = self.operators.point_cloud_kernel.process(
-                scan, resolution=0.6
-            )
-            profile = self.profilers.profile(
-                timestamp=clock.now,
-                state=estimate,
-                cloud=profiling_cloud,
-                scan=scan,
-                octree=self.operators.octree,
-                trajectory=trajectory,
-                rig_max_volume=self.rig.max_sensor_volume(),
-                heading=env.goal - state.position,
-            )
-
-            # 3. Decide.
-            decision = self.runtime.decide(profile)
-
-            # 4. Enforce the policy on the pipeline.
-            focus = (
-                trajectory.nearest_point_to(state.position).position
-                if trajectory is not None
-                else state.position
-            )
-            perception = self.operators.run_perception(scan, decision.policy, focus=focus)
-
-            replan, reason = self._should_replan(
-                trajectory, state.position, decisions_since_plan
-            )
-            local_goal = self._local_goal(state.position, env.goal)
-            planning = self.operators.run_planning(
-                policy=decision.policy,
-                start=self._escape_start(state.position),
-                goal=local_goal,
-                bounds=self._planning_bounds(),
-                replan=replan,
-                previous_trajectory=trajectory,
-                start_time=clock.now,
-                velocity_cap=decision.velocity_cap,
-            )
-            replanned = planning.plan is not None
-            if replanned:
-                decisions_since_plan = 0
-                if planning.plan is not None and not planning.plan.success:
-                    consecutive_plan_failures += 1
-                else:
-                    consecutive_plan_failures = 0
-            else:
-                decisions_since_plan += 1
-            trajectory = planning.trajectory
-
-            # Blocked-trajectory safety: if the updated map says the path ahead
-            # is blocked, drop the trajectory so the next decision replans.
-            if trajectory is not None and self._trajectory_blocked(
-                trajectory, state.position
-            ):
-                trajectory = None
-
-            # 5. Charge compute.
-            work = merge_work(perception.work, planning.work)
-            stage_latencies = self.cost_model.stage_latencies(
-                work, self.runtime.spatial_aware
-            )
-            end_to_end = sum(stage_latencies.values())
-            ledger.record_many(decision_index, stage_latencies, clock.now)
-            busy = sum(
-                seconds
-                for stage, seconds in stage_latencies.items()
-                if not stage.startswith("comm_")
-            )
-            cpu.record_decision(decision_index, busy)
-
-            zone = env.zone_map.zone_at(state.position).name
-            traces.append(
-                DecisionTrace(
-                    index=decision_index,
-                    timestamp=clock.now,
-                    position=state.position,
-                    zone=zone,
-                    speed=state.speed,
-                    velocity_cap=decision.velocity_cap,
-                    time_budget=decision.time_budget,
-                    policy=decision.policy.as_dict(),
-                    stage_latencies=stage_latencies,
-                    end_to_end_latency=end_to_end,
-                    visibility=profile.visibility,
-                    closest_obstacle=profile.closest_obstacle,
-                    replanned=replanned,
-                )
-            )
-
-            # 6. Fly for the duration of the decision.
-            interval = max(end_to_end, cfg.sensor_period_s)
-            state, flown, hit = self._fly(
-                state, trajectory, decision.velocity_cap, interval, planning.view
-            )
-            distance_travelled += flown
-            clock.advance(interval)
-
-            # Stall detection: a drone pinned by its emergency brake (or a
-            # trajectory it cannot make progress on) needs a fresh plan.
-            if trajectory is not None and flown < 0.05:
-                stalled_decisions += 1
-                if stalled_decisions >= 3:
-                    trajectory = None
-                    stalled_decisions = 0
-            else:
-                stalled_decisions = 0
-
-            if hit:
+            if outcome.hit:
                 collided = True
                 break
-            if state.position.distance_to(env.goal) <= cfg.goal_tolerance_m:
+            if outcome.state.position.distance_to(env.goal) <= cfg.goal_tolerance_m:
                 reached_goal = True
                 break
-            if consecutive_plan_failures >= cfg.max_consecutive_plan_failures:
+            if (
+                pipeline.planning.consecutive_plan_failures
+                >= cfg.max_consecutive_plan_failures
+            ):
                 break
 
+        traces = pipeline.traces
+        ledger = pipeline.ledger
         mission_time = clock.now
         mean_velocity = distance_travelled / mission_time if mission_time > 0 else 0.0
         energy = self.energy_model.mission_energy(
             flight_time_s=mission_time,
             mean_speed=mean_velocity,
-            compute_busy_s=cpu.total_busy_seconds(),
+            compute_busy_s=pipeline.cpu.total_busy_seconds(),
         )
         latencies = ledger.end_to_end_latencies()
         deadline_misses = sum(1 for t in traces if not t.deadline_met)
@@ -362,7 +273,7 @@ class MissionSimulator:
             distance_travelled_m=distance_travelled,
             mean_velocity_mps=mean_velocity,
             energy_j=energy,
-            mean_cpu_utilization=cpu.mean_utilization(),
+            mean_cpu_utilization=pipeline.cpu.mean_utilization(),
             decision_count=len(traces),
             median_latency_s=ledger.median_latency(),
             max_latency_s=max(latencies) if latencies else 0.0,
@@ -375,168 +286,5 @@ class MissionSimulator:
             ledger=ledger,
             environment=env,
             design=self.runtime.name,
+            pipeline=pipeline,
         )
-
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-    def _should_replan(
-        self,
-        trajectory: Optional[Trajectory],
-        position: Vec3,
-        decisions_since_plan: int,
-    ) -> tuple[bool, str]:
-        """Decide whether the piece-wise planner must run this decision."""
-        cfg = self.config
-        if trajectory is None:
-            return True, "no_trajectory"
-        nearest = trajectory.nearest_point_to(position)
-        remaining = trajectory.remaining_length(nearest.time)
-        if remaining <= cfg.replan_remaining_m:
-            return True, "trajectory_consumed"
-        if decisions_since_plan >= cfg.replan_interval_decisions:
-            return True, "periodic_refresh"
-        return False, "tracking"
-
-    def _trajectory_blocked(self, trajectory: Trajectory, position: Vec3) -> bool:
-        """Check the path ahead of the drone against the updated occupancy map.
-
-        The check deliberately uses the octree at its native resolution rather
-        than the policy-dependent planning view: the per-decision precision
-        knob changes cell sizes from decision to decision, and re-validating
-        yesterday's path against today's coarser cells would invalidate
-        perfectly good trajectories and cause replanning thrash.
-
-        The walk starts at the nearest sample's own index (paths that revisit
-        a waypoint used to re-find it by position equality, anchoring at the
-        first visit and spending the whole check budget on segments already
-        behind the drone) and each segment probe runs through the octree's
-        index-backed segment query.
-        """
-        cfg = self.config
-        octree = self.operators.octree
-        start_index = trajectory.nearest_point_to(position).index
-        points = trajectory.waypoint_positions()
-        travelled = 0.0
-        step = max(octree.vox_min, 0.5)
-        for a, b in zip(points[start_index:], points[start_index + 1 :]):
-            if octree.segment_occupied(a, b, step=step):
-                return True
-            travelled += a.distance_to(b)
-            if travelled >= cfg.block_check_distance_m:
-                break
-        return False
-
-    def _escape_start(self, position: Vec3) -> Vec3:
-        """A planning start near the drone that is clear of mapped obstacles.
-
-        When braking leaves the drone hugging (or, through map noise, inside)
-        an occupied cell, planning from the exact drone position fails every
-        time.  Planning from the nearest clear spot a voxel or two away lets
-        the pipeline recover; the path follower pulls the drone onto the new
-        path from wherever it actually is.
-        """
-        octree = self.operators.octree
-        clearance = octree.vox_min * 2.0
-
-        def is_clear(candidate: Vec3) -> bool:
-            offsets = (
-                Vec3.zero(),
-                Vec3(clearance, 0.0, 0.0),
-                Vec3(-clearance, 0.0, 0.0),
-                Vec3(0.0, clearance, 0.0),
-                Vec3(0.0, -clearance, 0.0),
-            )
-            return not any(octree.is_occupied(candidate + o) for o in offsets)
-
-        if is_clear(position):
-            return position
-        for radius in (0.6, 1.2, 2.0, 3.0):
-            for k in range(8):
-                angle = math.pi * k / 4.0
-                candidate = position + Vec3(
-                    radius * math.cos(angle), radius * math.sin(angle), 0.0
-                )
-                if is_clear(candidate):
-                    return candidate
-        return position
-
-    def _local_goal(self, position: Vec3, goal: Vec3) -> Vec3:
-        """The receding-horizon goal for piece-wise planning."""
-        to_goal = goal - position
-        distance = to_goal.norm()
-        if distance <= self.config.planning_horizon_m:
-            return goal
-        return position + to_goal * (self.config.planning_horizon_m / distance)
-
-    def _planning_bounds(self) -> AABB:
-        """The planner's sampling region: world bounds clamped to the flight band."""
-        bounds = self.environment.world.bounds
-        low, high = self.config.flight_band_m
-        return AABB(
-            Vec3(bounds.min_corner.x, bounds.min_corner.y, low),
-            Vec3(bounds.max_corner.x, bounds.max_corner.y, high),
-        )
-
-    def _motion_blocked(self, position: Vec3, motion: Vec3) -> bool:
-        """True when mapped obstacles lie within a small tube around the motion.
-
-        The probe walks the expected displacement over the brake look-ahead
-        horizon and checks a one-voxel-wide neighbourhood laterally, so the
-        drone also brakes when it is about to *graze* a mapped obstacle rather
-        than only when it would fly squarely into one.
-        """
-        cfg = self.config
-        octree = self.operators.octree
-        horizon = motion * cfg.emergency_brake_lookahead_s
-        if horizon.norm() < 1e-6:
-            return False
-        # The drone's own voxel is excluded (include_start=False): map noise
-        # can mark the cell the drone currently sits in, and braking on it
-        # would pin the drone in place forever.
-        return octree.segment_occupied(
-            position,
-            position + horizon,
-            step=octree.vox_min,
-            lateral=octree.vox_min,
-            include_start=False,
-        )
-
-    def _fly(
-        self,
-        state: DroneState,
-        trajectory: Optional[Trajectory],
-        velocity_cap: float,
-        duration: float,
-        view,
-    ) -> tuple[DroneState, float, bool]:
-        """Advance flight for ``duration`` seconds; returns (state, distance, hit)."""
-        cfg = self.config
-        flown = 0.0
-        remaining = duration
-        current = state
-        while remaining > 1e-9:
-            dt = min(cfg.control_dt_s, remaining)
-            if trajectory is None:
-                command = Vec3.zero()
-            else:
-                command = self.follower.velocity_command(
-                    trajectory, current.position, velocity_cap
-                )
-                # Emergency brake: if the occupancy map shows an obstacle
-                # within a short flight-time horizon of the commanded motion
-                # (or of the drone's current momentum), stop instead of
-                # continuing at speed.
-                if self._motion_blocked(current.position, command) or self._motion_blocked(
-                    current.position, current.velocity
-                ):
-                    command = Vec3.zero()
-            next_state = self.kinematics.step(current, command, dt)
-            flown += next_state.position.distance_to(current.position)
-            current = next_state
-            if self.environment.world.is_occupied(
-                current.position, margin=cfg.collision_margin_m
-            ):
-                return current, flown, True
-            remaining -= dt
-        return current, flown, False

@@ -1,0 +1,174 @@
+"""Declarative mission scenarios.
+
+A :class:`ScenarioSpec` names everything one mission needs — the environment
+difficulty knobs, the mission configuration, the runtime design under test
+and any injected faults — as one serialisable value.  Benchmarks, examples
+and campaigns build specs instead of hand-wiring simulators, which makes a
+sweep a plain list of values: easy to grid, to ship across a process pool
+(:mod:`repro.simulation.campaign`) and to record next to its results.
+
+Seeding: :meth:`ScenarioSpec.seeded` stamps one integer into both the
+environment generator seed and the planner seed, so every mission of a
+campaign is independently reproducible from its spec alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.environment.generator import EnvironmentConfig, EnvironmentGenerator
+from repro.simulation.faults import FaultSet
+from repro.simulation.mission import MissionConfig, MissionResult, MissionSimulator
+
+DESIGNS = ("roborun", "spatial_oblivious")
+
+
+def _build_runtime(design: str):
+    # Imported lazily: core.runtime pulls in the full governor stack, which
+    # worker processes only need when they actually fly a mission.
+    from repro.core.baseline import SpatialObliviousRuntime
+    from repro.core.runtime import RoboRunRuntime
+
+    return RoboRunRuntime() if design == "roborun" else SpatialObliviousRuntime()
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """One fully specified mission: environment + mission + design + faults.
+
+    Attributes:
+        name: human-readable identifier, unique within a campaign.
+        design: the runtime under test (``roborun`` / ``spatial_oblivious``).
+        environment: difficulty knobs for the generated world.
+        mission: the decision-loop configuration.
+        faults: sensor faults injected at the pipeline's sense boundary.
+    """
+
+    name: str
+    design: str = "roborun"
+    environment: EnvironmentConfig = field(default_factory=EnvironmentConfig)
+    mission: MissionConfig = field(default_factory=MissionConfig)
+    faults: FaultSet = field(default_factory=FaultSet)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.design not in DESIGNS:
+            raise ValueError(
+                f"unknown design {self.design!r}; expected one of {DESIGNS}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def seeded(self, seed: int) -> "ScenarioSpec":
+        """A copy with the given seed stamped into environment and planner."""
+        return replace(
+            self,
+            environment=replace(self.environment, seed=seed),
+            mission=replace(self.mission, rng_seed=seed),
+        )
+
+    @property
+    def seed(self) -> int:
+        """The environment seed (the campaign's per-mission seed)."""
+        return self.environment.seed
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def build_simulator(self) -> MissionSimulator:
+        """Generate the world and wire a simulator for this scenario."""
+        environment = EnvironmentGenerator().generate(self.environment)
+        return MissionSimulator(
+            environment,
+            _build_runtime(self.design),
+            self.mission,
+            faults=self.faults,
+        )
+
+    def run(self) -> MissionResult:
+        """Fly the scenario once and return the full mission result."""
+        return self.build_simulator().run()
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-safe, crosses process boundaries)."""
+        return {
+            "name": self.name,
+            "design": self.design,
+            "environment": dataclasses.asdict(self.environment),
+            "mission": dataclasses.asdict(self.mission),
+            "faults": self.faults.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        mission_data = dict(data.get("mission", {}))
+        band = mission_data.get("flight_band_m")
+        if band is not None:
+            mission_data["flight_band_m"] = tuple(band)
+        return cls(
+            name=data["name"],
+            design=data.get("design", "roborun"),
+            environment=EnvironmentConfig(**data.get("environment", {})),
+            mission=MissionConfig(**mission_data),
+            faults=FaultSet.from_dict(data.get("faults")),
+        )
+
+    def to_json(self) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(payload))
+
+
+def scenario_grid(
+    name_prefix: str,
+    designs: Sequence[str] = DESIGNS,
+    densities: Sequence[float] = (),
+    spreads: Sequence[float] = (),
+    goal_distances: Sequence[float] = (),
+    base_environment: Optional[EnvironmentConfig] = None,
+    mission: Optional[MissionConfig] = None,
+    faults: Optional[FaultSet] = None,
+    base_seed: int = 0,
+) -> List[ScenarioSpec]:
+    """Build the cartesian sweep of designs × environment knob values.
+
+    Empty knob lists fall back to the base environment's value, so a caller
+    can sweep any subset of the three paper knobs (density, spread, goal
+    distance).  Every spec receives a distinct, deterministic seed
+    (``base_seed + index``), so the grid is reproducible mission by mission.
+    """
+    base_env = base_environment or EnvironmentConfig()
+    density_values = tuple(densities) or (base_env.obstacle_density,)
+    spread_values = tuple(spreads) or (base_env.obstacle_spread,)
+    goal_values = tuple(goal_distances) or (base_env.goal_distance,)
+
+    specs: List[ScenarioSpec] = []
+    combos = itertools.product(designs, density_values, spread_values, goal_values)
+    for index, (design, density, spread, goal) in enumerate(combos):
+        environment = replace(
+            base_env,
+            obstacle_density=density,
+            obstacle_spread=spread,
+            goal_distance=goal,
+        )
+        spec = ScenarioSpec(
+            name=f"{name_prefix}_{design}_den{density:g}_spr{spread:g}_goal{goal:g}",
+            design=design,
+            environment=environment,
+            mission=mission or MissionConfig(),
+            faults=faults or FaultSet(),
+        ).seeded(base_seed + index)
+        specs.append(spec)
+    return specs

@@ -115,6 +115,83 @@ class TestTopicsAndExecutor:
         assert msg.age(0.5) == 0.0
 
 
+class TestExecutorReentrancy:
+    """Callbacks that publish while being dispatched (the node-graph pattern)."""
+
+    def make_executor(self, **kwargs):
+        return Executor(TopicBus(), SimClock(), **kwargs)
+
+    def test_nested_publish_is_fifo_ordered(self):
+        # A callback's own publications queue behind everything already
+        # pending: the delivery order is breadth-first, as in a ROS spinner.
+        executor = self.make_executor()
+        order = []
+        executor.subscribe("/a", lambda m: (order.append("a1"), executor.publish("/b", None, "a1")))
+        executor.subscribe("/a", lambda m: order.append("a2"))
+        executor.subscribe("/b", lambda m: order.append("b"))
+        executor.publish("/a", None, frame_id="start")
+        executor.spin()
+        assert order == ["a1", "a2", "b"]
+
+    def test_chained_republication_terminates(self):
+        # A bounded relay chain (a → b → c) drains without tripping the guard.
+        executor = self.make_executor()
+        seen = []
+        executor.subscribe("/a", lambda m: executor.publish("/b", m.payload + 1, "a"))
+        executor.subscribe("/b", lambda m: executor.publish("/c", m.payload + 1, "b"))
+        executor.subscribe("/c", lambda m: seen.append(m.payload))
+        executor.publish("/a", 0, frame_id="start")
+        delivered = executor.spin()
+        assert delivered == 3
+        assert seen == [2]
+        assert executor.pending == 0
+
+    def test_runaway_guard_trips_at_budget(self):
+        executor = self.make_executor()
+        executor.subscribe("/a", lambda m: executor.publish("/a", m.payload, "looper"))
+        executor.publish("/a", 0, frame_id="start")
+        with pytest.raises(RuntimeError, match="publish cycle"):
+            executor.spin(max_callbacks=7)
+        # The guard fires after exactly the budgeted number of deliveries.
+        assert executor.dispatched == 7
+
+    def test_spin_after_guard_trip_can_resume(self):
+        # The guard raises but leaves the queue intact; a non-cyclic workload
+        # can still be drained afterwards.
+        executor = self.make_executor()
+        hits = []
+        cycling = {"on": True}
+
+        def maybe_cycle(m):
+            hits.append(m.payload)
+            if cycling["on"]:
+                executor.publish("/a", m.payload + 1, "looper")
+
+        executor.subscribe("/a", maybe_cycle)
+        executor.publish("/a", 0, frame_id="start")
+        with pytest.raises(RuntimeError):
+            executor.spin(max_callbacks=3)
+        cycling["on"] = False
+        executor.spin()
+        assert executor.pending == 0
+        assert hits == list(range(len(hits)))
+
+    def test_dispatch_log_records_topic_and_frame(self):
+        executor = self.make_executor(record_dispatch=True)
+        executor.subscribe("/a", lambda m: executor.publish("/b", None, "node_a"))
+        executor.subscribe("/b", lambda m: None)
+        executor.publish("/a", None, frame_id="source")
+        executor.spin()
+        assert executor.dispatch_log == [("/a", "source"), ("/b", "node_a")]
+
+    def test_dispatch_log_disabled_by_default(self):
+        executor = self.make_executor()
+        executor.subscribe("/a", lambda m: None)
+        executor.publish("/a", None, frame_id="source")
+        executor.spin()
+        assert executor.dispatch_log == []
+
+
 class TestLatencyLedger:
     def test_unknown_stage_rejected(self):
         with pytest.raises(ValueError):

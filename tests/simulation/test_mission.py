@@ -118,16 +118,66 @@ class TestMissionLoop:
         assert d["energy_kj"] == pytest.approx(roborun_result.metrics.energy_j / 1000.0)
 
 
+class TestGoldenMetrics:
+    """The node-graph refactor must not move a single bit of the metrics.
+
+    The expected values were captured from the pre-refactor monolithic
+    decision loop on this exact environment/config pair; the node-based
+    pipeline must reproduce them exactly (not approximately).
+    """
+
+    GOLDEN = {
+        "roborun": {
+            "success": 0.0,
+            "collided": 0.0,
+            "mission_time_s": 120.73771800000009,
+            "distance_travelled_m": 80.8318339949936,
+            "mean_velocity_mps": 0.669482870257607,
+            "energy_kj": 57.71541177989992,
+            "mean_cpu_utilization": 1.0,
+            "decision_count": 122.0,
+            "median_latency_s": 0.8780390000000002,
+            "max_latency_s": 2.6474080000000004,
+            "deadline_miss_rate": 0.7786885245901639,
+            "replan_count": 13.0,
+        },
+        "spatial_oblivious": {
+            "success": 1.0,
+            "collided": 0.0,
+            "mission_time_s": 301.069418,
+            "distance_travelled_m": 180.43152367207372,
+            "mean_velocity_mps": 0.599302064190637,
+            "energy_kj": 143.52508642344148,
+            "mean_cpu_utilization": 1.0,
+            "decision_count": 133.0,
+            "median_latency_s": 2.2219660000000006,
+            "max_latency_s": 3.455577999999999,
+            "deadline_miss_rate": 0.0,
+            "replan_count": 21.0,
+        },
+    }
+    LEDGER_RECORDS = {"roborun": 1220, "spatial_oblivious": 1330}
+
+    def test_roborun_metrics_bit_identical(self, roborun_result):
+        assert roborun_result.metrics.as_dict() == self.GOLDEN["roborun"]
+        assert len(roborun_result.ledger) == self.LEDGER_RECORDS["roborun"]
+
+    def test_baseline_metrics_bit_identical(self, baseline_result):
+        assert baseline_result.metrics.as_dict() == self.GOLDEN["spatial_oblivious"]
+        assert len(baseline_result.ledger) == self.LEDGER_RECORDS["spatial_oblivious"]
+
+
 class TestTrajectoryBlockedAnchoring:
     """Regression tests for the blocked-path check's start-index lookup."""
 
-    def make_simulator(self):
+    def make_planning_node(self):
         env = EnvironmentGenerator().generate(
             EnvironmentConfig(
                 obstacle_density=0.05, obstacle_spread=30.0, goal_distance=60.0, seed=3
             )
         )
-        return MissionSimulator(env, RoboRunRuntime(), FAST_CFG)
+        sim = MissionSimulator(env, RoboRunRuntime(), FAST_CFG)
+        return sim.build_pipeline().planning
 
     def loop_trajectory(self):
         """A path that revisits its start: A → B → A → C."""
@@ -154,21 +204,21 @@ class TestTrajectoryBlockedAnchoring:
         # equality lands on the *first* A and reports the path behind the
         # drone as blocked; anchoring by sample index must look ahead (A → C,
         # which is clear) and report the trajectory as flyable.
-        sim = self.make_simulator()
+        planning = self.make_planning_node()
         trajectory, a, _ = self.loop_trajectory()
-        octree = sim.operators.octree
+        octree = planning.operators.octree
         for dy in (-0.3, 0.0, 0.3):
             octree.mark_occupied(Vec3(10.0, dy, 5.0))
-        assert not sim._trajectory_blocked(trajectory, a)
+        assert not planning.trajectory_blocked(trajectory, a)
 
     def test_obstacle_ahead_is_still_caught(self):
         # From B the path ahead (B → A) does cross the mapped obstacle.
-        sim = self.make_simulator()
+        planning = self.make_planning_node()
         trajectory, _, b = self.loop_trajectory()
-        octree = sim.operators.octree
+        octree = planning.operators.octree
         for dy in (-0.3, 0.0, 0.3):
             octree.mark_occupied(Vec3(10.0, dy, 5.0))
-        assert sim._trajectory_blocked(trajectory, b)
+        assert planning.trajectory_blocked(trajectory, b)
 
 
 class TestMissionConfigValidation:
@@ -179,3 +229,17 @@ class TestMissionConfigValidation:
             MissionConfig(max_decisions=0)
         with pytest.raises(ValueError):
             MissionConfig(planning_horizon_m=-1.0)
+
+    def test_flight_band_must_be_ordered_pair(self):
+        with pytest.raises(ValueError):
+            MissionConfig(flight_band_m=(12.0, 2.0))
+        with pytest.raises(ValueError):
+            MissionConfig(flight_band_m=(5.0, 5.0))
+        with pytest.raises(ValueError):
+            MissionConfig(flight_band_m=(1.0, 2.0, 3.0))
+
+    def test_flight_band_normalised_to_float_tuple(self):
+        cfg = MissionConfig(flight_band_m=[1, 9])
+        assert cfg.flight_band_m == (1.0, 9.0)
+        assert isinstance(cfg.flight_band_m, tuple)
+        assert all(isinstance(v, float) for v in cfg.flight_band_m)

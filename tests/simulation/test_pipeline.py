@@ -1,0 +1,238 @@
+"""Tests for the node-based decision pipeline.
+
+Covers the graph's structure (topics, cascade completeness), the comm hops
+(ledger entries anchored to real bus messages), dispatch-order determinism
+(same seed → identical executor log) and the fault injections applied at the
+sense boundary.
+"""
+
+import pytest
+
+from repro import (
+    CameraDegradation,
+    EnvironmentConfig,
+    EnvironmentGenerator,
+    FaultSet,
+    MissionConfig,
+    MissionSimulator,
+    RoboRunRuntime,
+    SensorDropout,
+)
+from repro.middleware.latency import COMM_STAGES
+from repro.simulation.pipeline import (
+    COMM_HOP_TOPICS,
+    TOPIC_DECISION,
+    TOPIC_FLIGHT,
+    TOPIC_PERCEPTION,
+    TOPIC_PLANNING,
+    TOPIC_PROFILE,
+    TOPIC_SCAN,
+    TOPIC_TRAJECTORY,
+)
+
+TINY_ENV = EnvironmentConfig(
+    obstacle_density=0.3, obstacle_spread=30.0, goal_distance=60.0, seed=3
+)
+TINY_CFG = MissionConfig(max_decisions=25, max_mission_time_s=200.0)
+
+
+def fly_tiny(faults=None):
+    env = EnvironmentGenerator().generate(TINY_ENV)
+    sim = MissionSimulator(env, RoboRunRuntime(), TINY_CFG, faults=faults)
+    return sim.run()
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return fly_tiny()
+
+
+class TestGraphStructure:
+    def test_every_topic_carries_traffic(self, tiny_result):
+        bus = tiny_result.pipeline.bus
+        expected = {
+            TOPIC_SCAN,
+            TOPIC_PROFILE,
+            TOPIC_DECISION,
+            TOPIC_PERCEPTION,
+            TOPIC_PLANNING,
+            TOPIC_TRAJECTORY,
+            TOPIC_FLIGHT,
+        }
+        assert expected <= set(bus.names())
+        decisions = tiny_result.metrics.decision_count
+        for topic in expected - {TOPIC_TRAJECTORY}:
+            # One message per decision on every edge (trajectory republishes
+            # on stall drops, so it can exceed the decision count).
+            assert bus.topic(topic).publish_count == decisions
+        assert bus.topic(TOPIC_TRAJECTORY).publish_count >= decisions
+
+    def test_cascade_completes_every_decision(self, tiny_result):
+        pipeline = tiny_result.pipeline
+        assert pipeline.executor.pending == 0
+        indices = [trace.index for trace in tiny_result.traces]
+        assert indices == list(range(len(indices)))
+
+    def test_nodes_charge_compute(self, tiny_result):
+        compute = tiny_result.pipeline.node_compute_seconds()
+        assert set(compute) == {
+            "sense", "profile", "governor", "perception", "planning", "flight",
+        }
+        # The kernels-hosting nodes and the governor all did charged work.
+        assert compute["perception"] > 0
+        assert compute["planning"] > 0
+        assert compute["governor"] > 0
+
+    def test_node_compute_matches_ledger_total(self, tiny_result):
+        compute = tiny_result.pipeline.node_compute_seconds()
+        ledger_compute = tiny_result.ledger.total_compute_seconds()
+        assert sum(compute.values()) == pytest.approx(ledger_compute)
+
+
+class TestCommHops:
+    def test_four_hops_per_decision(self, tiny_result):
+        hops = tiny_result.pipeline.hops
+        decisions = tiny_result.metrics.decision_count
+        assert len(hops) == 4 * decisions
+        for index in range(decisions):
+            stages = [h.stage for h in hops if h.decision_index == index]
+            assert stages == list(COMM_STAGES)
+
+    def test_hops_anchor_to_real_bus_messages(self, tiny_result):
+        pipeline = tiny_result.pipeline
+        histories = {
+            topic: {m.header.seq: m for m in pipeline.bus.topic(topic).history()}
+            for topic in COMM_HOP_TOPICS.values()
+        }
+        # Histories are bounded, so only the tail of the mission is checkable.
+        checked = 0
+        for hop in pipeline.hops:
+            message = histories[hop.topic].get(hop.message_seq)
+            if message is None:
+                continue
+            assert hop.published_stamp == message.stamp
+            checked += 1
+        assert checked >= 4  # at least the final decision's hops
+
+    def test_ledger_comm_entries_are_hop_deltas(self, tiny_result):
+        hops = tiny_result.pipeline.hops
+        by_decision = {}
+        for hop in hops:
+            by_decision.setdefault(hop.decision_index, {})[hop.stage] = hop
+        for decision in tiny_result.ledger.decisions():
+            hop_map = by_decision[decision.decision_index]
+            for stage in COMM_STAGES:
+                hop = hop_map[stage]
+                assert decision.stages[stage] == hop.comm_seconds
+                assert hop.stamp_delta == pytest.approx(hop.comm_seconds, abs=1e-12)
+                assert hop.delivered_stamp >= hop.published_stamp
+
+    def test_comm_scales_with_payload(self, tiny_result):
+        # The hop cost is sized by the payloads that crossed the bus: at
+        # least the per-message floor, and varying across the mission.
+        costs = {h.comm_seconds for h in tiny_result.pipeline.hops}
+        assert len(costs) > 1
+        assert all(c > 0 for c in costs)
+
+
+class TestDispatchDeterminism:
+    def test_same_seed_same_dispatch_order(self):
+        first = fly_tiny()
+        second = fly_tiny()
+        log_a = first.pipeline.dispatch_log()
+        log_b = second.pipeline.dispatch_log()
+        assert log_a == log_b
+        assert len(log_a) > 0
+        assert first.metrics.as_dict() == second.metrics.as_dict()
+
+    def test_cascade_dispatch_shape(self, tiny_result):
+        # Every decision's cascade starts with the scan fan-out and ends with
+        # the flight result fan-out, in FIFO order.
+        log = tiny_result.pipeline.dispatch_log()
+        assert log[0] == (TOPIC_SCAN, "sense")
+        scan_deliveries = [entry for entry in log if entry[0] == TOPIC_SCAN]
+        # Two subscribers (profile, perception) per decision.
+        assert len(scan_deliveries) == 2 * tiny_result.metrics.decision_count
+
+
+@pytest.mark.slow
+class TestBenchmarkSeedGolden:
+    """Acceptance: bit-identical metrics on the fixed benchmark seed.
+
+    The expected values were captured from the pre-refactor monolithic loop
+    on the benchmark environment (``benchmarks/conftest.BENCH_ENV``); the
+    node graph must reproduce every metric exactly.
+    """
+
+    BENCH_ENV = EnvironmentConfig(
+        obstacle_density=0.3, obstacle_spread=40.0, goal_distance=120.0, seed=11
+    )
+    BENCH_CFG = MissionConfig(max_decisions=500, max_mission_time_s=1500.0)
+    GOLDEN_ROBORUN = {
+        "success": 1.0,
+        "collided": 0.0,
+        "mission_time_s": 214.69268399999996,
+        "distance_travelled_m": 136.85867226413055,
+        "mean_velocity_mps": 0.6374631390053821,
+        "energy_kj": 102.49095704528258,
+        "mean_cpu_utilization": 1.0,
+        "decision_count": 204.0,
+        "median_latency_s": 0.97176,
+        "max_latency_s": 2.1518280000000005,
+        "deadline_miss_rate": 0.9117647058823529,
+        "replan_count": 20.0,
+    }
+
+    def test_roborun_bench_seed_bit_identical(self):
+        env = EnvironmentGenerator().generate(self.BENCH_ENV)
+        result = MissionSimulator(env, RoboRunRuntime(), self.BENCH_CFG).run()
+        assert result.metrics.as_dict() == self.GOLDEN_ROBORUN
+        assert len(result.ledger) == 2040
+
+
+class TestFaultInjection:
+    def test_sensor_dropout_blanks_scheduled_decisions(self):
+        faults = FaultSet(sensor_dropout=SensorDropout(every_n=3))
+        result = fly_tiny(faults=faults)
+        dropped = result.pipeline.sense.dropped_decisions
+        assert dropped, "dropout schedule never fired"
+        assert all(index % 3 == 2 for index in dropped)
+        fixed_cost = result.pipeline.flight.cost_model.point_cloud_fixed_s
+        per_decision = {
+            d.decision_index: d.stages["point_cloud"]
+            for d in result.ledger.decisions()
+        }
+        for index, cost in per_decision.items():
+            if index in dropped:
+                # A lost frame converts zero pixels: only the fixed cost.
+                assert cost == pytest.approx(fixed_cost)
+            else:
+                assert cost > fixed_cost
+
+    def test_camera_degradation_reduces_point_cloud_work(self):
+        faults = FaultSet(
+            camera_degradation=CameraDegradation(width=4, height=3, after_decision=5)
+        )
+        result = fly_tiny(faults=faults)
+        per_decision = {
+            d.decision_index: d.stages["point_cloud"]
+            for d in result.ledger.decisions()
+        }
+        healthy = per_decision[0]
+        degraded = per_decision[6]
+        assert degraded < healthy
+        # Degradation is permanent once it strikes.
+        assert all(
+            per_decision[i] == pytest.approx(degraded)
+            for i in range(5, len(per_decision))
+        )
+
+    def test_faultless_mission_unaffected_by_fault_plumbing(self, tiny_result):
+        explicit = fly_tiny(faults=FaultSet())
+        assert explicit.metrics.as_dict() == tiny_result.metrics.as_dict()
+
+    def test_dropout_validation(self):
+        with pytest.raises(ValueError):
+            SensorDropout(every_n=1)
+        with pytest.raises(ValueError):
+            CameraDegradation(width=0, height=3)

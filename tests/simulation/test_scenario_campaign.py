@@ -1,0 +1,176 @@
+"""Tests for the declarative scenario layer and the campaign runner."""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    CampaignRunner,
+    EnvironmentConfig,
+    FaultSet,
+    MissionConfig,
+    ScenarioSpec,
+    SensorDropout,
+    scenario_grid,
+)
+from repro.simulation.campaign import _run_payload
+
+TINY_ENV = EnvironmentConfig(
+    obstacle_density=0.3, obstacle_spread=30.0, goal_distance=60.0, seed=7
+)
+TINY_CFG = MissionConfig(max_decisions=15, max_mission_time_s=100.0)
+
+
+def tiny_spec(name="tiny", design="roborun", **overrides):
+    return ScenarioSpec(
+        name=name,
+        design=design,
+        environment=dataclasses.replace(TINY_ENV, **overrides),
+        mission=TINY_CFG,
+    )
+
+
+class TestScenarioSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="", design="roborun")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", design="not_a_design")
+
+    def test_json_round_trip(self):
+        spec = ScenarioSpec(
+            name="rt",
+            design="spatial_oblivious",
+            environment=TINY_ENV,
+            mission=dataclasses.replace(TINY_CFG, flight_band_m=(1.5, 9.5)),
+            faults=FaultSet(sensor_dropout=SensorDropout(every_n=4, start_decision=2)),
+        )
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.mission.flight_band_m == (1.5, 9.5)
+        assert restored.faults.sensor_dropout.every_n == 4
+
+    def test_seeded_stamps_both_seeds(self):
+        spec = tiny_spec().seeded(99)
+        assert spec.environment.seed == 99
+        assert spec.mission.rng_seed == 99
+        assert spec.seed == 99
+
+    def test_run_produces_mission_result(self):
+        result = tiny_spec().run()
+        assert result.design == "roborun"
+        assert result.metrics.decision_count > 0
+
+    def test_worker_payload_round_trip(self):
+        spec = tiny_spec(name="worker")
+        row = _run_payload({"spec": spec.to_dict(), "keep_results": False})
+        assert row["metrics"]["decision_count"] > 0
+        assert "result" not in row
+
+
+class TestScenarioGrid:
+    def test_grid_covers_product_with_distinct_seeds(self):
+        specs = scenario_grid(
+            "g",
+            densities=(0.3, 0.5),
+            spreads=(30.0,),
+            goal_distances=(60.0, 90.0),
+            base_environment=TINY_ENV,
+            mission=TINY_CFG,
+            base_seed=10,
+        )
+        assert len(specs) == 2 * 2 * 2  # designs x densities x goals
+        assert len({spec.name for spec in specs}) == len(specs)
+        assert [spec.seed for spec in specs] == list(range(10, 10 + len(specs)))
+        assert {spec.design for spec in specs} == {"roborun", "spatial_oblivious"}
+
+    def test_grid_defaults_to_base_environment_values(self):
+        specs = scenario_grid("g", designs=("roborun",), base_environment=TINY_ENV,
+                              mission=TINY_CFG)
+        assert len(specs) == 1
+        assert specs[0].environment.obstacle_density == TINY_ENV.obstacle_density
+
+
+class TestCampaignRunner:
+    def test_duplicate_names_rejected(self):
+        specs = [tiny_spec(name="dup"), tiny_spec(name="dup", design="spatial_oblivious")]
+        with pytest.raises(ValueError):
+            CampaignRunner(max_workers=1).run(specs)
+
+    def test_serial_and_parallel_agree(self):
+        specs = [
+            tiny_spec(name="a").seeded(1),
+            tiny_spec(name="b", design="spatial_oblivious").seeded(2),
+        ]
+        serial = CampaignRunner(max_workers=1).run(specs)
+        parallel = CampaignRunner(max_workers=2).run(specs)
+        assert [o.metrics for o in serial.outcomes] == [
+            o.metrics for o in parallel.outcomes
+        ]
+        assert [o.spec.name for o in parallel.outcomes] == ["a", "b"]
+
+    def test_aggregates(self):
+        specs = [
+            tiny_spec(name="a").seeded(1),
+            tiny_spec(name="b", design="spatial_oblivious").seeded(2),
+        ]
+        campaign = CampaignRunner(max_workers=1).run(specs)
+        assert len(campaign) == 2
+        assert set(campaign.by_design()) == {"roborun", "spatial_oblivious"}
+        assert 0.0 <= campaign.success_rate() <= 1.0
+        assert campaign.mean_metric("mission_time_s") > 0
+        summary = campaign.summary()
+        assert summary["roborun"]["missions"] == 1.0
+        payload = campaign.to_dict()
+        assert len(payload["outcomes"]) == 2
+
+    def test_keep_results_returns_traces(self):
+        campaign = CampaignRunner(max_workers=1).run(
+            [tiny_spec(name="traced")], keep_results=True
+        )
+        result = campaign.outcomes[0].result
+        assert result is not None
+        assert len(result.traces) == result.metrics.decision_count
+        # The live node graph never crosses the campaign boundary.
+        assert result.pipeline is None
+
+
+@pytest.mark.slow
+class TestCampaignSweepAcceptance:
+    """The acceptance sweep: ≥8 scenarios incl. a fault injection, parallel."""
+
+    def build_specs(self):
+        specs = scenario_grid(
+            "acc",
+            densities=(0.3, 0.5),
+            goal_distances=(60.0, 90.0),
+            base_environment=TINY_ENV,
+            mission=dataclasses.replace(TINY_CFG, max_decisions=40),
+            base_seed=50,
+        )
+        specs.append(
+            ScenarioSpec(
+                name="acc_roborun_dropout",
+                design="roborun",
+                environment=TINY_ENV,
+                mission=dataclasses.replace(TINY_CFG, max_decisions=40),
+                faults=FaultSet(sensor_dropout=SensorDropout(every_n=3)),
+            ).seeded(60)
+        )
+        return specs
+
+    def test_parallel_sweep_is_deterministic(self):
+        specs = self.build_specs()
+        assert len(specs) >= 8
+        assert any(spec.faults.active() for spec in specs)
+        parallel = CampaignRunner(max_workers=4).run(specs)
+        serial = CampaignRunner(max_workers=1).run(specs)
+        assert [o.metrics for o in parallel.outcomes] == [
+            o.metrics for o in serial.outcomes
+        ]
+        assert len(parallel) == len(specs)
+        summary = parallel.summary()
+        assert summary["roborun"]["missions"] == float(
+            sum(1 for s in specs if s.design == "roborun")
+        )
+        assert all(o.metrics["decision_count"] > 0 for o in parallel.outcomes)
