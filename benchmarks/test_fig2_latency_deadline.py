@@ -2,39 +2,20 @@
 
 These are analytical sweeps of the two models the governor uses — the Eq. 4
 latency model and the Eq. 1 time budget — and reproduce the monotone families
-of curves in the paper's Figure 2.
+of curves in the paper's Figure 2.  The row construction lives in
+:mod:`repro.analysis.figures` (the same aggregation the campaign report CLI
+uses); the benchmark asserts the curves' shape.
 """
 
 from conftest import print_table
 
-from repro.compute.latency_model import DEFAULT_STAGE_MODELS, STAGE_PERCEPTION
-from repro.core.budget import TimeBudgeter
-
-PRECISIONS = [0.3, 0.6, 1.2, 2.4, 4.8, 9.6]
-VOLUMES = [10_000.0, 20_000.0, 40_000.0, 60_000.0]
-SPEEDS = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
-VISIBILITIES = [5.0, 10.0, 20.0, 40.0]
-
-
-def fig2a_rows():
-    model = DEFAULT_STAGE_MODELS[STAGE_PERCEPTION]
-    rows = [["precision_m"] + [f"v={int(v)}" for v in VOLUMES]]
-    for p in PRECISIONS:
-        rows.append([p] + [round(model.latency(p, v), 4) for v in VOLUMES])
-    return rows
-
-
-def fig2b_rows():
-    budgeter = TimeBudgeter()
-    rows = [["speed_mps"] + [f"d={int(d)}m" for d in VISIBILITIES]]
-    for v in SPEEDS:
-        rows.append([v] + [round(budgeter.local_budget(v, d), 2) for d in VISIBILITIES])
-    return rows
+from repro.analysis.figures import fig2a_model_table, fig2b_model_table
 
 
 def test_fig2a_latency_vs_volume_and_precision(benchmark):
-    rows = benchmark(fig2a_rows)
-    print_table("Figure 2a: processing latency (s) vs volume, one curve per precision", rows)
+    table = benchmark(fig2a_model_table)
+    rows = table.as_rows()
+    print_table(table.title, rows)
     # Shape checks: latency grows with volume and with precision (smaller voxels).
     for row in rows[1:]:
         values = row[1:]
@@ -45,8 +26,9 @@ def test_fig2a_latency_vs_volume_and_precision(benchmark):
 
 
 def test_fig2b_deadline_vs_speed_and_visibility(benchmark):
-    rows = benchmark(fig2b_rows)
-    print_table("Figure 2b: processing deadline (s) vs speed, one curve per visibility", rows)
+    table = benchmark(fig2b_model_table)
+    rows = table.as_rows()
+    print_table(table.title, rows)
     # Deadline shrinks with speed and grows with visibility.
     for row in rows[1:]:
         values = row[1:]

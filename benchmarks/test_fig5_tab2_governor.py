@@ -2,67 +2,22 @@
 
 Figure 5 compares the worst-case static design against the dynamic
 spatial-aware design as the environment around the drone changes.  The sweep
-below drives the solver/governor across a congestion gradient (from tight
-aisles to open sky) and prints the static and dynamic latency (5a) and
+(:func:`repro.analysis.figures.fig5_model_table`, shared with the campaign
+report CLI) drives the solver/governor across a congestion gradient (from
+tight aisles to open sky) and prints the static and dynamic latency (5a) and
 deadline (5b) at every step.  Table II's knob values are asserted directly.
 """
 
 from conftest import print_table
 
-from repro.core.baseline import SpatialObliviousRuntime
-from repro.core.governor import Governor
+from repro.analysis.figures import fig5_model_table
 from repro.core.policy import KnobLimits, STATIC_BASELINE_POLICY
-from repro.core.profilers import SpaceProfile
-from repro.geometry.vec3 import Vec3
-
-
-def congestion_gradient(steps=8):
-    """Profiles sweeping from very congested (tight gaps) to open sky."""
-    profiles = []
-    for i in range(steps):
-        t = i / (steps - 1)
-        gap = 0.6 + t * 24.0
-        visibility = 4.0 + t * 36.0
-        profiles.append(
-            SpaceProfile(
-                timestamp=float(i),
-                gap_min=min(0.6 + t * 10.0, gap),
-                gap_avg=gap,
-                closest_obstacle=2.0 + t * 38.0,
-                closest_unknown=visibility,
-                visibility=visibility,
-                sensor_volume=100_000.0 + t * 200_000.0,
-                map_volume=50_000.0,
-                velocity=1.0 + t * 1.5,
-                position=Vec3(10.0 * i, 0, 5),
-                trajectory=None,
-            )
-        )
-    return profiles
-
-
-def sweep():
-    governor = Governor()
-    baseline = SpatialObliviousRuntime()
-    rows = [["step", "static_latency_s", "dynamic_latency_s", "static_deadline_s", "dynamic_deadline_s"]]
-    for i, profile in enumerate(congestion_gradient()):
-        dynamic = governor.decide(profile)
-        static = baseline.decide(profile)
-        rows.append(
-            [
-                i,
-                round(static.predicted_latency, 3),
-                round(dynamic.predicted_latency, 3),
-                round(static.time_budget, 3),
-                round(dynamic.time_budget, 3),
-            ]
-        )
-    return rows
 
 
 def test_fig5_static_vs_dynamic(benchmark):
-    rows = benchmark(sweep)
-    print_table("Figure 5: static (worst-case) vs dynamic latency and deadline", rows)
+    table = benchmark(fig5_model_table)
+    rows = table.as_rows()
+    print_table(table.title, rows)
     static_latency = [r[1] for r in rows[1:]]
     dynamic_latency = [r[2] for r in rows[1:]]
     static_deadline = [r[3] for r in rows[1:]]

@@ -2,12 +2,17 @@
 
 The paper reports, averaged over 27 environments: 5X velocity, 4.5X mission
 time, 4X energy and a 36% CPU-utilisation reduction in RoboRun's favour.  The
-reduced-scale harness flies one environment pair (see ``conftest.BENCH_ENV``)
-and prints the same four rows; EXPERIMENTS.md records the measured ratios.
+reduced-scale harness flies one environment pair (see ``conftest.BENCH_ENV``),
+folds it through the shared :func:`repro.analysis.figures.fig7_overall`
+aggregator (the same code path the campaign report CLI uses) and prints the
+same four rows; EXPERIMENTS.md records the measured ratios.
 """
 
 import pytest
 from conftest import print_table
+
+from repro.analysis.figures import fig7_overall
+from repro.analysis.trace import MissionRecord
 
 # Mission-level benchmark: flies full missions through the simulator.
 pytestmark = pytest.mark.slow
@@ -15,41 +20,11 @@ pytestmark = pytest.mark.slow
 
 def test_fig7_mission_level_metrics(benchmark, mission_pair):
     def rows():
-        roborun = mission_pair["roborun"].metrics
-        baseline = mission_pair["spatial_oblivious"].metrics
-        def ratio(b, r):
-            return round(b / r, 2) if r > 0 else float("inf")
-        return [
-            ["metric", "spatial_oblivious", "roborun", "improvement"],
-            [
-                "flight velocity (m/s)",
-                round(baseline.mean_velocity_mps, 3),
-                round(roborun.mean_velocity_mps, 3),
-                round(roborun.mean_velocity_mps / max(baseline.mean_velocity_mps, 1e-9), 2),
-            ],
-            [
-                "mission time (s)",
-                round(baseline.mission_time_s, 1),
-                round(roborun.mission_time_s, 1),
-                ratio(baseline.mission_time_s, roborun.mission_time_s),
-            ],
-            [
-                "mission energy (kJ)",
-                round(baseline.energy_j / 1000.0, 1),
-                round(roborun.energy_j / 1000.0, 1),
-                ratio(baseline.energy_j, roborun.energy_j),
-            ],
-            [
-                "CPU utilization",
-                round(baseline.mean_cpu_utilization, 3),
-                round(roborun.mean_cpu_utilization, 3),
-                round(
-                    (baseline.mean_cpu_utilization - roborun.mean_cpu_utilization)
-                    / max(baseline.mean_cpu_utilization, 1e-9),
-                    3,
-                ),
-            ],
+        records = [
+            MissionRecord.from_result(result, spec_name=design)
+            for design, result in mission_pair.items()
         ]
+        return fig7_overall(records).as_rows()
 
     table = benchmark.pedantic(rows, rounds=1, iterations=1)
     print_table("Figure 7: mission-level metrics (reduced-scale environment)", table)

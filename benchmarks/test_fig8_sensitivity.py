@@ -17,6 +17,8 @@ from conftest import BENCH_ENV, BENCH_MISSION, bench_spec, print_table
 pytestmark = pytest.mark.slow
 
 from repro import CampaignRunner
+from repro.analysis.figures import fig8_sensitivity
+from repro.analysis.report import CampaignReport
 from repro.environment.generator import (
     DENSITY_LEVELS,
     GOAL_DISTANCE_LEVELS_M,
@@ -41,7 +43,12 @@ def test_fig8a_evaluation_scenarios(benchmark):
 
 
 def _sweep(knob, low, high):
-    """Fly the 2x2 sweep (design x knob value) as one parallel campaign."""
+    """Fly the 2x2 sweep (design x knob value) as one parallel campaign.
+
+    Aggregation goes through the shared
+    :func:`repro.analysis.figures.fig8_sensitivity` — the same fold the
+    campaign report CLI applies to saved traces.
+    """
     designs = ("spatial_oblivious", "roborun")
     specs = [
         bench_spec(design, dataclasses.replace(BENCH_ENV, **{knob: value}), BENCH_MISSION)
@@ -50,15 +57,9 @@ def _sweep(knob, low, high):
     ]
     campaign = CampaignRunner().run(specs)
 
-    rows = [["design", f"{knob}={low}", f"{knob}={high}", "flight-time ratio"]]
-    ratios = {}
-    by_design = campaign.by_design()
-    for design in designs:
-        times = [o.metrics["mission_time_s"] for o in by_design[design]]
-        ratio = times[1] / times[0] if times[0] > 0 else float("inf")
-        ratios[design] = ratio
-        rows.append([design, round(times[0], 1), round(times[1], 1), round(ratio, 2)])
-    return rows, ratios
+    report = CampaignReport.from_campaign(campaign)
+    table = fig8_sensitivity(report.missions, knob)
+    return table.as_rows(), table.meta["ratios"]
 
 
 @pytest.mark.slow

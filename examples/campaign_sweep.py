@@ -3,13 +3,18 @@
 The closest thing to the paper's 27-environment evaluation at example scale:
 a density x goal-distance grid for both designs (eight scenarios), plus two
 fault-injection scenarios — periodic sensor dropout and a mid-mission camera
-degradation — fanned across a process pool by the :class:`CampaignRunner`
-and folded into one per-design summary table.
+degradation — fanned across a process pool by the :class:`CampaignRunner`.
+Every mission streams a JSONL trace, and the summary tables are folded from
+those traces by the shared :class:`repro.analysis.CampaignReport`
+aggregation (the same backend as ``python -m repro.report``); the full
+markdown report lands under ``reports/``.
 
 Run with::
 
     python examples/campaign_sweep.py
 """
+
+from pathlib import Path
 
 from repro import (
     CameraDegradation,
@@ -21,6 +26,7 @@ from repro import (
     SensorDropout,
     scenario_grid,
 )
+from repro.analysis import CampaignReport
 
 BASE_ENV = EnvironmentConfig(obstacle_density=0.3, obstacle_spread=40.0, goal_distance=80.0)
 MISSION = MissionConfig(max_decisions=250, max_mission_time_s=600.0)
@@ -61,12 +67,17 @@ def build_specs() -> list[ScenarioSpec]:
 
 def main() -> None:
     specs = build_specs()
+    trace_dir = Path("reports") / "traces" / "campaign_sweep"
     print(f"Flying a {len(specs)}-scenario campaign "
           f"({sum(1 for s in specs if s.faults.active())} with injected faults) ...")
-    campaign = CampaignRunner().run(specs)
+    campaign = CampaignRunner().run(specs, trace_dir=trace_dir)
 
     print(f"\n{'scenario':<42}{'success':>8}{'time (s)':>10}{'vel (m/s)':>11}")
     for outcome in campaign.outcomes:
+        if not outcome.ok:
+            error = outcome.error or {}
+            print(f"{outcome.spec.name:<42}   ERROR  {error.get('type', '?')}")
+            continue
         m = outcome.metrics
         print(
             f"{outcome.spec.name:<42}"
@@ -75,9 +86,15 @@ def main() -> None:
             f"{m['mean_velocity_mps']:>11.2f}"
         )
 
-    print("\nPer-design summary:")
-    for design, stats in campaign.summary().items():
-        print(f"  {design}: " + ", ".join(f"{k}={v:.3g}" for k, v in stats.items()))
+    # Everything below is derived from the trace files alone.
+    report = CampaignReport.from_trace_dir(trace_dir)
+    fig7 = report.fig7()
+    print("\n" + fig7.title)
+    print(fig7.to_markdown())
+    destination = report.write_markdown(
+        Path("reports") / "campaign_sweep.md", title="Campaign sweep report"
+    )
+    print(f"\nFull report (fig2/fig5/fig7/fig8 tables): {destination}")
 
 
 if __name__ == "__main__":

@@ -30,6 +30,12 @@ def main() -> None:
     print(f"Environment: {env_config.label()}")
     print(f"Flying {len(specs)} scenarios ...")
     campaign = CampaignRunner().run(specs)
+    for failure in campaign.failures():
+        error = failure.error or {}
+        raise SystemExit(
+            f"scenario {failure.spec.name!r} failed to run: "
+            f"{error.get('type', '?')}: {error.get('message', '')}"
+        )
     metrics = {o.spec.design: o.metrics for o in campaign.outcomes}
 
     print(f"\n{'metric':<28}{'spatial_oblivious':>20}{'roborun':>14}")

@@ -47,7 +47,13 @@ def main() -> None:
         + "ratio".rjust(10)
     )
     for design in DESIGNS:
-        times = [o.metrics["mission_time_s"] for o in by_design[design]]
+        outcomes = by_design[design]
+        failed = [o for o in outcomes if not o.ok]
+        if failed:
+            errors = ", ".join((o.error or {}).get("type", "?") for o in failed)
+            print(f"{design:<20}  {len(failed)} scenario(s) failed to run: {errors}")
+            continue
+        times = [o.metrics["mission_time_s"] for o in outcomes]
         ratio = times[-1] / times[0] if times[0] > 0 else float("inf")
         print(f"{design:<20}" + "".join(f"{t:12.1f}" for t in times) + f"{ratio:10.2f}")
     print("\nExpected shape: the baseline's mission time grows faster with goal"

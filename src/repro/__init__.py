@@ -6,7 +6,11 @@ Heterogeneity" end to end in pure Python: the navigation pipeline
 middleware substrate the runtime sits in, the drone/energy/compute models the
 evaluation depends on, and — at its centre — the RoboRun governor, profilers
 and operators plus the static spatial-oblivious baseline it is compared
-against.
+against.  On top sit the scenario/campaign layer (declarative missions
+fanned across a process pool) and the analysis subsystem
+(:mod:`repro.analysis`): structured mission traces, streaming JSONL trace
+files, and the aggregators that fold traces into the paper's figures —
+surfaced on the command line as ``python -m repro.report``.
 
 Quick start::
 
@@ -20,6 +24,11 @@ Quick start::
     print(result.metrics.mission_time_s, result.metrics.mean_velocity_mps)
 """
 
+from repro.analysis.figures import FigureTable
+from repro.analysis.io import TraceReader, TraceWriter
+from repro.analysis.recorder import TraceRecorder
+from repro.analysis.report import CampaignReport
+from repro.analysis.trace import DecisionRecord, MissionRecord
 from repro.core.baseline import SpatialObliviousRuntime
 from repro.core.budget import TimeBudgeter
 from repro.core.governor import Governor, GovernorDecision
@@ -44,11 +53,14 @@ __version__ = "0.1.0"
 
 __all__ = [
     "CameraDegradation",
+    "CampaignReport",
     "CampaignResult",
     "CampaignRunner",
     "DecisionPipeline",
+    "DecisionRecord",
     "DecisionTrace",
     "EnvironmentConfig",
+    "FigureTable",
     "EnvironmentGenerator",
     "FaultSet",
     "GeneratedEnvironment",
@@ -59,6 +71,7 @@ __all__ = [
     "KnobSolver",
     "MissionConfig",
     "MissionMetrics",
+    "MissionRecord",
     "MissionResult",
     "MissionSimulator",
     "OperatorSet",
@@ -73,6 +86,9 @@ __all__ = [
     "SpaceProfile",
     "SpatialObliviousRuntime",
     "TimeBudgeter",
+    "TraceReader",
+    "TraceRecorder",
+    "TraceWriter",
     "__version__",
     "scenario_grid",
 ]

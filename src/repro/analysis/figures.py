@@ -1,0 +1,454 @@
+"""Figure aggregators: fold trace records into the paper's tables.
+
+Each ``fig*`` function reproduces one of the paper's headline figures as a
+plain :class:`FigureTable` — no plotting dependency, just columns and rows
+with CSV and markdown emitters — so the same aggregation backs the
+benchmark suite, the campaign report CLI and any notebook that reads a
+trace file.
+
+Two families live here:
+
+* **Trace aggregators** (:func:`fig2_latency_deadline`,
+  :func:`fig5_governor_response`, :func:`fig7_overall`,
+  :func:`fig8_sensitivity`) fold streams of
+  :class:`~repro.analysis.trace.DecisionRecord` /
+  :class:`~repro.analysis.trace.MissionRecord` — everything they need is in
+  the records, so saved traces reproduce the figures without re-flying
+  anything.
+* **Model tables** (:func:`fig2a_model_table`, :func:`fig2b_model_table`,
+  :func:`fig5_model_table`) are the analytical sweeps of the latency model
+  and the time budgeter that Figures 2 and 5 plot directly; the
+  ``benchmarks/test_fig*`` harness asserts their shape.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.trace import DecisionRecord, MissionRecord
+
+# The two designs of the paper's A/B comparison, in table order.
+BASELINE_DESIGN = "spatial_oblivious"
+ROBORUN_DESIGN = "roborun"
+
+# Default analytical sweep points (the paper's Figure 2 axes).
+FIG2_PRECISIONS_M: Sequence[float] = (0.3, 0.6, 1.2, 2.4, 4.8, 9.6)
+FIG2_VOLUMES_M3: Sequence[float] = (10_000.0, 20_000.0, 40_000.0, 60_000.0)
+FIG2_SPEEDS_MPS: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0)
+FIG2_VISIBILITIES_M: Sequence[float] = (5.0, 10.0, 20.0, 40.0)
+
+
+@dataclass
+class FigureTable:
+    """One figure rendered as a plain table.
+
+    Attributes:
+        key: short identifier ("fig2", "fig5", "fig7", "fig8_density", …)
+            used for CSV file names and report anchors.
+        title: human-readable caption.
+        columns: column headers, left to right.
+        rows: data rows; cells are strings or numbers.
+        meta: aggregator extras (e.g. the fig8 flight-time ratios) that do
+            not belong in the rendered table.
+    """
+
+    key: str
+    title: str
+    columns: List[str]
+    rows: List[List[Any]]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def as_rows(self) -> List[List[Any]]:
+        """Header row plus data rows (the benchmark ``print_table`` shape)."""
+        return [list(self.columns)] + [list(row) for row in self.rows]
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown table (without the title)."""
+        lines = [
+            "| " + " | ".join(str(c) for c in self.columns) + " |",
+            "|" + "|".join(" --- " for _ in self.columns) + "|",
+        ]
+        for row in self.rows:
+            lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """RFC-4180 CSV text, header first."""
+        buffer = _io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def design_order(designs: Sequence[str]) -> List[str]:
+    """Stable table order: baseline first, RoboRun second, others sorted."""
+    present = list(dict.fromkeys(designs))
+    ordered = [d for d in (BASELINE_DESIGN, ROBORUN_DESIGN) if d in present]
+    ordered.extend(sorted(d for d in present if d not in ordered))
+    return ordered
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _bucket(value: float, width: float) -> int:
+    return int(value // width)
+
+
+def _bucket_label(index: int, width: float) -> str:
+    return f"[{index * width:g}, {(index + 1) * width:g})"
+
+
+def ok_missions(missions: Sequence[MissionRecord]) -> List[MissionRecord]:
+    """The missions that actually ran (error records filtered out)."""
+    return [m for m in missions if m.ok]
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — latency vs. deadline
+# ----------------------------------------------------------------------
+def fig2_latency_deadline(
+    decisions: Sequence[DecisionRecord], speed_bin_mps: float = 0.5
+) -> FigureTable:
+    """Figure 2 from traces: decision latency and deadline binned by speed.
+
+    The analytical Figure 2 plots the latency model and the Eq. 1 deadline
+    against their inputs; the trace form shows the same two quantities as
+    the missions actually experienced them — per design, binned by flight
+    speed (the deadline's dominant input), with the fraction of decisions
+    that met their deadline.
+    """
+    groups: Dict[Tuple[str, int], List[DecisionRecord]] = {}
+    for record in decisions:
+        groups.setdefault((record.design, _bucket(record.speed, speed_bin_mps)), []).append(
+            record
+        )
+    rows: List[List[Any]] = []
+    for design in design_order([d for d, _ in groups]):
+        buckets = sorted(b for d, b in groups if d == design)
+        for bucket in buckets:
+            members = groups[(design, bucket)]
+            rows.append(
+                [
+                    design,
+                    _bucket_label(bucket, speed_bin_mps),
+                    len(members),
+                    round(_mean([m.time_budget for m in members]), 3),
+                    round(_mean([m.end_to_end_latency for m in members]), 3),
+                    round(
+                        sum(1 for m in members if m.deadline_met) / len(members), 3
+                    ),
+                ]
+            )
+    return FigureTable(
+        key="fig2",
+        title="Figure 2: decision latency vs. deadline, binned by flight speed",
+        columns=[
+            "design",
+            "speed_bin_mps",
+            "decisions",
+            "mean_deadline_s",
+            "mean_latency_s",
+            "deadline_met_rate",
+        ],
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — governor response to congestion
+# ----------------------------------------------------------------------
+def fig5_governor_response(
+    decisions: Sequence[DecisionRecord], visibility_bin_m: float = 5.0
+) -> FigureTable:
+    """Figure 5 from traces: latency and deadline per design vs. congestion.
+
+    Visibility is the congestion proxy (tight clutter → short look-ahead):
+    the static design's latency and deadline stay flat across the bins while
+    the spatial-aware design's track the available space — the paper's
+    static-vs-dynamic comparison, recovered entirely from trace records.
+    """
+    designs = design_order([r.design for r in decisions])
+    groups: Dict[Tuple[str, int], List[DecisionRecord]] = {}
+    for record in decisions:
+        groups.setdefault(
+            (record.design, _bucket(record.visibility, visibility_bin_m)), []
+        ).append(record)
+    buckets = sorted({b for _, b in groups})
+    columns = ["visibility_bin_m", "decisions"]
+    for design in designs:
+        columns.extend([f"{design}_latency_s", f"{design}_deadline_s"])
+    rows: List[List[Any]] = []
+    for bucket in buckets:
+        row: List[Any] = [
+            _bucket_label(bucket, visibility_bin_m),
+            sum(len(groups.get((d, bucket), [])) for d in designs),
+        ]
+        for design in designs:
+            members = groups.get((design, bucket), [])
+            if members:
+                row.append(round(_mean([m.end_to_end_latency for m in members]), 3))
+                row.append(round(_mean([m.time_budget for m in members]), 3))
+            else:
+                row.extend(["-", "-"])
+        rows.append(row)
+    return FigureTable(
+        key="fig5",
+        title="Figure 5: governor response — latency and deadline vs. visibility",
+        columns=columns,
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — overall mission-level comparison
+# ----------------------------------------------------------------------
+#: (row label, metrics key, decimals) for the four Figure 7 quantities.
+_FIG7_METRICS: Sequence[Tuple[str, str, int]] = (
+    ("flight velocity (m/s)", "mean_velocity_mps", 3),
+    ("mission time (s)", "mission_time_s", 1),
+    ("mission energy (kJ)", "energy_kj", 1),
+    ("CPU utilization", "mean_cpu_utilization", 3),
+)
+
+
+def fig7_overall(missions: Sequence[MissionRecord]) -> FigureTable:
+    """Figure 7 from traces: per-design mission metrics with improvements.
+
+    Means are taken over every completed mission of each design; the
+    improvement column reproduces the paper's headline ratios (velocity
+    ratio, time/energy speedups, relative CPU-utilisation reduction) and is
+    present only when both designs of the A/B pair flew.
+    """
+    usable = ok_missions(missions)
+    designs = design_order([m.design for m in usable])
+    by_design = {
+        design: [m for m in usable if m.design == design] for design in designs
+    }
+    means: Dict[str, Dict[str, float]] = {
+        design: {
+            key: _mean([m.metrics[key] for m in group])
+            for _, key, _ in _FIG7_METRICS
+        }
+        for design, group in by_design.items()
+    }
+    have_pair = BASELINE_DESIGN in means and ROBORUN_DESIGN in means
+    columns = ["metric"] + designs + (["improvement"] if have_pair else [])
+    rows: List[List[Any]] = []
+    rows.append(
+        ["missions"]
+        + [len(by_design[d]) for d in designs]
+        + ([""] if have_pair else [])
+    )
+    for label, key, decimals in _FIG7_METRICS:
+        row: List[Any] = [label]
+        for design in designs:
+            row.append(round(means[design][key], decimals))
+        if have_pair:
+            base = means[BASELINE_DESIGN][key]
+            robo = means[ROBORUN_DESIGN][key]
+            if key == "mean_velocity_mps":
+                improvement = round(robo / max(base, 1e-9), 2)
+            elif key == "mean_cpu_utilization":
+                improvement = round((base - robo) / max(base, 1e-9), 3)
+            else:  # time and energy: how many times cheaper RoboRun is
+                improvement = round(base / robo, 2) if robo > 0 else float("inf")
+            row.append(improvement)
+        rows.append(row)
+    return FigureTable(
+        key="fig7",
+        title="Figure 7: mission-level metrics per design",
+        columns=columns,
+        rows=rows,
+        meta={"means": means},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — sensitivity to the environment knobs
+# ----------------------------------------------------------------------
+#: The environment difficulty knobs of the Figure 8 sweep.
+FIG8_KNOBS: Sequence[str] = (
+    "obstacle_density",
+    "obstacle_spread",
+    "goal_distance",
+)
+
+
+def fig8_sensitivity(
+    missions: Sequence[MissionRecord], knob: str
+) -> FigureTable:
+    """Figure 8 from traces: flight-time sensitivity to one environment knob.
+
+    Groups completed missions by design and knob value (read from each
+    record's environment), reports the mean mission time at every value and
+    the flight-time ratio between the largest and smallest value — the
+    quantity Figures 8b–8d plot.  ``meta["ratios"]`` maps each design to its
+    ratio (``None`` when fewer than two knob values flew).
+    """
+    usable = [m for m in ok_missions(missions) if m.knob(knob) is not None]
+    designs = design_order([m.design for m in usable])
+    values = sorted({m.knob(knob) for m in usable})
+    columns = ["design"] + [f"{knob}={v:g}" for v in values] + ["flight_time_ratio"]
+    rows: List[List[Any]] = []
+    ratios: Dict[str, Optional[float]] = {}
+    for design in designs:
+        row: List[Any] = [design]
+        times: List[Optional[float]] = []
+        for value in values:
+            members = [
+                m for m in usable if m.design == design and m.knob(knob) == value
+            ]
+            if members:
+                mean_time = _mean([m.metrics["mission_time_s"] for m in members])
+                times.append(mean_time)
+                row.append(round(mean_time, 1))
+            else:
+                times.append(None)
+                row.append("-")
+        flown = [t for t in times if t is not None]
+        if len(flown) >= 2 and flown[0] > 0:
+            ratio: Optional[float] = flown[-1] / flown[0]
+            row.append(round(ratio, 2))
+        else:
+            ratio = None
+            row.append("n/a")
+        ratios[design] = ratio
+        rows.append(row)
+    return FigureTable(
+        key=f"fig8_{knob}",
+        title=f"Figure 8: flight-time sensitivity to {knob.replace('_', ' ')}",
+        columns=columns,
+        rows=rows,
+        meta={"ratios": ratios, "knob": knob, "values": values},
+    )
+
+
+# ----------------------------------------------------------------------
+# Analytical model tables (Figures 2 and 5 as the paper draws them)
+# ----------------------------------------------------------------------
+def fig2a_model_table(
+    precisions: Sequence[float] = FIG2_PRECISIONS_M,
+    volumes: Sequence[float] = FIG2_VOLUMES_M3,
+) -> FigureTable:
+    """Figure 2a: the Eq. 4 perception latency vs. volume, per precision.
+
+    Latency in seconds; volumes in cubic metres; precision (voxel edge) in
+    metres.  Latency grows with volume and with precision refinement.
+    """
+    from repro.compute.latency_model import DEFAULT_STAGE_MODELS, STAGE_PERCEPTION
+
+    model = DEFAULT_STAGE_MODELS[STAGE_PERCEPTION]
+    rows = [
+        [p] + [round(model.latency(p, v), 4) for v in volumes] for p in precisions
+    ]
+    return FigureTable(
+        key="fig2a_model",
+        title="Figure 2a: processing latency (s) vs volume, one curve per precision",
+        columns=["precision_m"] + [f"v={int(v)}" for v in volumes],
+        rows=rows,
+    )
+
+
+def fig2b_model_table(
+    speeds: Sequence[float] = FIG2_SPEEDS_MPS,
+    visibilities: Sequence[float] = FIG2_VISIBILITIES_M,
+) -> FigureTable:
+    """Figure 2b: the Eq. 1 decision deadline vs. speed, per visibility.
+
+    Deadline in seconds; speed in m/s; visibility (usable look-ahead) in
+    metres.  The deadline shrinks with speed and grows with visibility.
+    """
+    from repro.core.budget import TimeBudgeter
+
+    budgeter = TimeBudgeter()
+    rows = [
+        [v] + [round(budgeter.local_budget(v, d), 2) for d in visibilities]
+        for v in speeds
+    ]
+    return FigureTable(
+        key="fig2b_model",
+        title="Figure 2b: processing deadline (s) vs speed, one curve per visibility",
+        columns=["speed_mps"] + [f"d={int(d)}m" for d in visibilities],
+        rows=rows,
+    )
+
+
+def congestion_gradient(steps: int = 8) -> List[Any]:
+    """Profiles sweeping from very congested (tight gaps) to open sky.
+
+    A synthetic :class:`~repro.core.profilers.SpaceProfile` sequence used by
+    the Figure 5 model sweep; gaps, visibility and clearances are in metres,
+    velocities in m/s, volumes in cubic metres.
+    """
+    from repro.core.profilers import SpaceProfile
+    from repro.geometry.vec3 import Vec3
+
+    profiles = []
+    for i in range(steps):
+        t = i / (steps - 1)
+        gap = 0.6 + t * 24.0
+        visibility = 4.0 + t * 36.0
+        profiles.append(
+            SpaceProfile(
+                timestamp=float(i),
+                gap_min=min(0.6 + t * 10.0, gap),
+                gap_avg=gap,
+                closest_obstacle=2.0 + t * 38.0,
+                closest_unknown=visibility,
+                visibility=visibility,
+                sensor_volume=100_000.0 + t * 200_000.0,
+                map_volume=50_000.0,
+                velocity=1.0 + t * 1.5,
+                position=Vec3(10.0 * i, 0, 5),
+                trajectory=None,
+            )
+        )
+    return profiles
+
+
+def fig5_model_table(steps: int = 8) -> FigureTable:
+    """Figure 5: static vs. dynamic latency/deadline over a congestion sweep.
+
+    Drives the live governor and the static baseline across
+    :func:`congestion_gradient` and reports both designs' predicted latency
+    (5a) and time budget (5b) in seconds at every step.
+    """
+    from repro.core.baseline import SpatialObliviousRuntime
+    from repro.core.governor import Governor
+
+    governor = Governor()
+    baseline = SpatialObliviousRuntime()
+    rows: List[List[Any]] = []
+    for i, profile in enumerate(congestion_gradient(steps)):
+        dynamic = governor.decide(profile)
+        static = baseline.decide(profile)
+        rows.append(
+            [
+                i,
+                round(static.predicted_latency, 3),
+                round(dynamic.predicted_latency, 3),
+                round(static.time_budget, 3),
+                round(dynamic.time_budget, 3),
+            ]
+        )
+    return FigureTable(
+        key="fig5_model",
+        title="Figure 5: static (worst-case) vs dynamic latency and deadline",
+        columns=[
+            "step",
+            "static_latency_s",
+            "dynamic_latency_s",
+            "static_deadline_s",
+            "dynamic_deadline_s",
+        ],
+        rows=rows,
+    )

@@ -1,0 +1,244 @@
+"""The trace recorder: a passive tap on the decision pipeline's topics.
+
+:class:`TraceRecorder` subscribes to the pipeline's bus topics — the scan,
+profile, governor decision, planning output and flight result — and folds
+each decision's messages into one :class:`~repro.analysis.trace.
+DecisionRecord` when the cascade's final message (the flight result) is
+delivered.  It is an ordinary subscriber: it adds no nodes, publishes
+nothing, and changes no dispatch ordering, so a traced mission is
+bit-identical to an untraced one.  When no recorder is attached the
+pipeline carries zero tracing overhead — there is nothing to skip, because
+the tap simply is not subscribed.
+
+Records can be kept in memory (``keep_records=True``, the default), streamed
+to a :class:`~repro.analysis.io.TraceWriter`, or both.  Campaign workers use
+the streaming path so multi-thousand-mission campaigns never hold a
+campaign's traces in memory at once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.analysis.trace import DecisionRecord, MissionRecord, jsonify
+from repro.middleware.latency import compute_seconds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.io import TraceWriter
+    from repro.dynamics.energy import EnergyModel
+    from repro.simulation.metrics import MissionMetrics
+    from repro.simulation.pipeline import DecisionPipeline
+
+
+class TraceRecorder:
+    """Assembles one :class:`DecisionRecord` per decision from the bus traffic.
+
+    Attributes:
+        writer: optional streaming sink; every record is appended as soon as
+            it is complete.
+        spec: the owning scenario spec (a ``ScenarioSpec`` or its plain-dict
+            form), used to stamp identity and environment knobs into the
+            records; ``None`` for ad-hoc missions.
+        keep_records: keep completed records in :attr:`records` /
+            :attr:`mission_record` (disable for campaign-scale streaming).
+        records: completed decision records, in decision order.
+        mission_record: the final mission summary, set by
+            :meth:`on_mission_end`.
+    """
+
+    def __init__(
+        self,
+        writer: Optional["TraceWriter"] = None,
+        spec: Optional[Any] = None,
+        keep_records: bool = True,
+    ) -> None:
+        self.writer = writer
+        self.keep_records = keep_records
+        self.records: List[DecisionRecord] = []
+        self.mission_record: Optional[MissionRecord] = None
+        self._spec: Optional[Any] = None
+        self._spec_dict: Optional[Dict[str, Any]] = None
+        self.spec = spec
+        self._pipeline: Optional["DecisionPipeline"] = None
+        self._energy_model: Optional["EnergyModel"] = None
+        # Per-decision message state, keyed by decision index.
+        self._dropped: Dict[int, bool] = {}
+        self._profiles: Dict[int, Any] = {}
+        self._decisions: Dict[int, Any] = {}
+        self._plannings: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Spec context
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> Optional[Any]:
+        """The owning scenario spec, in whatever form it was supplied."""
+        return self._spec
+
+    @spec.setter
+    def spec(self, value: Optional[Any]) -> None:
+        # Normalise once at assignment: spec_name is read on every decision,
+        # so the JSON round-trip must not sit on the recording hot path.
+        self._spec = value
+        if value is None:
+            self._spec_dict = None
+        elif hasattr(value, "to_dict"):
+            self._spec_dict = jsonify(value.to_dict())
+        else:
+            self._spec_dict = jsonify(dict(value))
+
+    @property
+    def spec_dict(self) -> Optional[Dict[str, Any]]:
+        """The spec as plain JSON-shaped data (cached at assignment)."""
+        return self._spec_dict
+
+    @property
+    def spec_name(self) -> str:
+        """The owning scenario's name ("" for ad-hoc missions)."""
+        return self._spec_dict["name"] if self._spec_dict else ""
+
+    # ------------------------------------------------------------------
+    # Pipeline tap
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        pipeline: "DecisionPipeline",
+        energy_model: Optional["EnergyModel"] = None,
+    ) -> None:
+        """Subscribe to the pipeline's topics (the record hook point).
+
+        Called by :meth:`DecisionPipeline.add_tap` /
+        :meth:`MissionSimulator.run`; may only be called once per recorder.
+        """
+        # Imported here: the pipeline module imports mission-level types and
+        # this module must stay importable without the simulation stack.
+        from repro.simulation.pipeline import (
+            TOPIC_DECISION,
+            TOPIC_FLIGHT,
+            TOPIC_PLANNING,
+            TOPIC_PROFILE,
+            TOPIC_SCAN,
+        )
+
+        if self._pipeline is not None:
+            raise ValueError("recorder is already attached to a pipeline")
+        self._pipeline = pipeline
+        self._energy_model = energy_model
+        executor = pipeline.executor
+        executor.subscribe(TOPIC_SCAN, self._on_scan)
+        executor.subscribe(TOPIC_PROFILE, self._on_profile)
+        executor.subscribe(TOPIC_DECISION, self._on_decision)
+        executor.subscribe(TOPIC_PLANNING, self._on_planning)
+        executor.subscribe(TOPIC_FLIGHT, self._on_flight)
+
+    # -- per-topic subscribers ------------------------------------------
+    def _on_scan(self, message: Any) -> None:
+        self._dropped[message.payload.index] = message.payload.dropped
+
+    def _on_profile(self, message: Any) -> None:
+        self._profiles[message.payload.index] = message.payload.profile
+
+    def _on_decision(self, message: Any) -> None:
+        self._decisions[message.payload.index] = message.payload.decision
+
+    def _on_planning(self, message: Any) -> None:
+        self._plannings[message.payload.index] = message.payload
+
+    def _on_flight(self, message: Any) -> None:
+        """Final hop of the cascade: fold the decision's messages into a record."""
+        result = message.payload
+        index = result.index
+        pipeline = self._pipeline
+        assert pipeline is not None  # attach() subscribed us
+        profile = self._profiles.pop(index)
+        decision = self._decisions.pop(index)
+        planning = self._plannings.pop(index)
+        dropped = self._dropped.pop(index, False)
+
+        stage_latencies = pipeline.ledger.stages_for(index)
+        busy = compute_seconds(stage_latencies)
+        interval = result.interval
+        mean_speed = result.flown / interval if interval > 0 else 0.0
+        energy = 0.0
+        if self._energy_model is not None:
+            energy = self._energy_model.mission_energy(
+                flight_time_s=interval,
+                mean_speed=mean_speed,
+                compute_busy_s=busy,
+            )
+
+        position = profile.position
+        zone = pipeline.environment.zone_map.zone_at(position).name
+        octree = pipeline.flight.operators.octree
+        record = DecisionRecord(
+            spec_name=self.spec_name,
+            design=pipeline.governor.runtime.name,
+            index=index,
+            timestamp=pipeline.clock.now,
+            position=(position.x, position.y, position.z),
+            zone=zone,
+            speed=profile.velocity,
+            velocity_cap=decision.velocity_cap,
+            time_budget=decision.time_budget,
+            predicted_latency=decision.predicted_latency,
+            solver_feasible=decision.solver_feasible,
+            policy=decision.policy.as_dict(),
+            stage_latencies=stage_latencies,
+            end_to_end_latency=result.end_to_end,
+            visibility=profile.visibility,
+            closest_obstacle=profile.closest_obstacle,
+            gap_min=profile.gap_min,
+            gap_avg=profile.gap_avg,
+            sensor_volume=profile.sensor_volume,
+            map_volume=profile.map_volume,
+            map_voxels=octree.occupied_voxel_count(),
+            flown=result.flown,
+            interval=interval,
+            energy=energy,
+            replanned=planning.replanned,
+            dropped=dropped,
+            hit=result.hit,
+        )
+        self._emit(record)
+
+    # ------------------------------------------------------------------
+    # Mission end
+    # ------------------------------------------------------------------
+    def on_mission_end(self, metrics: "MissionMetrics") -> MissionRecord:
+        """Emit the mission summary record once the mission loop finishes."""
+        spec = self.spec_dict
+        pipeline = self._pipeline
+        design = metrics.design
+        seed = 0
+        environment: Dict[str, Any] = {}
+        if spec is not None:
+            environment = dict(spec.get("environment", {}))
+            seed = int(environment.get("seed", 0))
+        elif pipeline is not None:
+            seed = int(pipeline.planning.config.rng_seed)
+        record = MissionRecord(
+            spec_name=self.spec_name,
+            design=design,
+            seed=seed,
+            environment=environment,
+            metrics=metrics.as_dict(),
+            error=None,
+            spec=spec,
+        )
+        self.mission_record = record if self.keep_records else None
+        self._emit(record, keep=False)
+        return record
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _emit(self, record: Any, keep: bool = True) -> None:
+        if keep and self.keep_records:
+            self.records.append(record)
+        if self.writer is not None:
+            self.writer.write(record)
+
+    def close(self) -> None:
+        """Close the streaming writer, if any (idempotent)."""
+        if self.writer is not None:
+            self.writer.close()

@@ -1,0 +1,254 @@
+"""Campaign reports: fold trace records into a self-contained document.
+
+:class:`CampaignReport` is the aggregation endpoint of the analysis
+subsystem: it takes the records of one campaign — from memory, from a
+:class:`~repro.simulation.campaign.CampaignResult`, or from saved JSONL
+trace files — and derives the paper's figure tables (Figures 2, 5, 7 and 8)
+plus a per-mission summary and a partial-failure section.  The markdown
+emitter produces a report that stands alone: everything in it came from the
+trace records, so re-rendering a report never requires re-flying a mission.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.figures import (
+    FIG8_KNOBS,
+    FigureTable,
+    fig2_latency_deadline,
+    fig5_governor_response,
+    fig7_overall,
+    fig8_sensitivity,
+    ok_missions,
+)
+from repro.analysis.io import list_trace_files, read_traces
+from repro.analysis.trace import DecisionRecord, MissionRecord, jsonify
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.campaign import CampaignResult
+
+PathLike = Union[str, Path]
+
+
+class CampaignReport:
+    """All of one campaign's records, with the paper's figures derived on demand.
+
+    Attributes:
+        decisions: every decision record of the campaign, in spec order.
+        missions: one mission record per spec (including error records for
+            specs that failed).
+    """
+
+    def __init__(
+        self,
+        decisions: Sequence[DecisionRecord] = (),
+        missions: Sequence[MissionRecord] = (),
+    ) -> None:
+        self.decisions: List[DecisionRecord] = list(decisions)
+        self.missions: List[MissionRecord] = list(missions)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_paths(cls, paths: Sequence[PathLike]) -> "CampaignReport":
+        """Build a report from saved JSONL trace files, in the given order."""
+        decisions, missions = read_traces(paths)
+        return cls(decisions, missions)
+
+    @classmethod
+    def from_trace_dir(cls, directory: PathLike) -> "CampaignReport":
+        """Build a report from every ``*.jsonl`` file under a directory."""
+        paths = list_trace_files(directory)
+        if not paths:
+            raise FileNotFoundError(f"no trace files (*.jsonl) under {directory}")
+        return cls.from_paths(paths)
+
+    @classmethod
+    def from_campaign(cls, campaign: "CampaignResult") -> "CampaignReport":
+        """Build a mission-level report straight from a campaign's outcomes.
+
+        Mission records come from each outcome's spec and metrics, which is
+        enough for the Figure 7/8 tables and the failure section; no
+        decision records are recovered, so :meth:`fig2` and :meth:`fig5`
+        come out empty.  Campaigns run with a ``trace_dir`` should prefer
+        :meth:`from_trace_dir`, which reads the complete record stream.
+        """
+        missions: List[MissionRecord] = []
+        for outcome in campaign.outcomes:
+            spec = outcome.spec
+            spec_dict = jsonify(spec.to_dict())
+            missions.append(
+                MissionRecord(
+                    spec_name=spec.name,
+                    design=spec.design,
+                    seed=spec.seed,
+                    environment=dict(spec_dict["environment"]),
+                    metrics=dict(outcome.metrics) if outcome.metrics else {},
+                    error=dict(outcome.error) if outcome.error else None,
+                    spec=spec_dict,
+                )
+            )
+        return cls(decisions=[], missions=missions)
+
+    # ------------------------------------------------------------------
+    # Derived tables
+    # ------------------------------------------------------------------
+    def _completed_decisions(self) -> List[DecisionRecord]:
+        """Decision records excluding those of specs that failed to run.
+
+        A crashed spec may have streamed partial decision records before its
+        error record; the figure tables aggregate completed missions only,
+        matching what the partial-failures section promises.
+        """
+        failed = {m.spec_name for m in self.missions if not m.ok}
+        if not failed:
+            return self.decisions
+        return [d for d in self.decisions if d.spec_name not in failed]
+
+    def fig2(self) -> FigureTable:
+        """Figure 2 table (latency vs. deadline) from the decision records."""
+        return fig2_latency_deadline(self._completed_decisions())
+
+    def fig5(self) -> FigureTable:
+        """Figure 5 table (governor response) from the decision records."""
+        return fig5_governor_response(self._completed_decisions())
+
+    def fig7(self) -> FigureTable:
+        """Figure 7 table (mission-level comparison) from the mission records."""
+        return fig7_overall(self.missions)
+
+    def fig8(self, knobs: Sequence[str] = FIG8_KNOBS) -> List[FigureTable]:
+        """One Figure 8 table per environment knob (always emitted, even when
+        a knob was not swept — the ratio column then reads ``n/a``)."""
+        return [fig8_sensitivity(self.missions, knob) for knob in knobs]
+
+    def tables(self) -> List[FigureTable]:
+        """Every figure table of the report, in paper order."""
+        return [self.fig2(), self.fig5(), self.fig7()] + self.fig8()
+
+    def failures(self) -> List[MissionRecord]:
+        """Mission records of specs that errored instead of flying."""
+        return [m for m in self.missions if not m.ok]
+
+    def mission_table(self) -> FigureTable:
+        """Per-mission summary: one row per spec, errors flagged."""
+        rows: List[List[Any]] = []
+        for mission in self.missions:
+            if mission.ok:
+                rows.append(
+                    [
+                        mission.spec_name,
+                        mission.design,
+                        mission.seed,
+                        "yes" if mission.success else "no",
+                        round(mission.metrics.get("mission_time_s", 0.0), 1),
+                        round(mission.metrics.get("mean_velocity_mps", 0.0), 2),
+                        int(mission.metrics.get("decision_count", 0)),
+                        "",
+                    ]
+                )
+            else:
+                error = mission.error or {}
+                rows.append(
+                    [
+                        mission.spec_name,
+                        mission.design,
+                        mission.seed,
+                        "ERROR",
+                        "-",
+                        "-",
+                        "-",
+                        f"{error.get('type', '?')}: {error.get('message', '')}",
+                    ]
+                )
+        return FigureTable(
+            key="missions",
+            title="Missions",
+            columns=[
+                "spec",
+                "design",
+                "seed",
+                "success",
+                "time_s",
+                "velocity_mps",
+                "decisions",
+                "error",
+            ],
+            rows=rows,
+        )
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def to_markdown(self, title: str = "Campaign report") -> str:
+        """The full self-contained markdown report."""
+        flown = ok_missions(self.missions)
+        failures = self.failures()
+        lines: List[str] = [f"# {title}", ""]
+        lines.append(
+            f"{len(self.missions)} spec(s): {len(flown)} flew "
+            f"({sum(1 for m in flown if m.success)} reached the goal), "
+            f"{len(failures)} failed to run. "
+            f"{len(self.decisions)} decision record(s) aggregated."
+        )
+        lines.append("")
+        lines.append("## Missions")
+        lines.append("")
+        lines.append(self.mission_table().to_markdown())
+        lines.append("")
+        if failures:
+            lines.append("## Partial failures")
+            lines.append("")
+            lines.append(
+                "These specs raised instead of flying; the rest of the report "
+                "aggregates the missions that completed."
+            )
+            lines.append("")
+            for mission in failures:
+                error = mission.error or {}
+                lines.append(f"### `{mission.spec_name}`")
+                lines.append("")
+                lines.append(f"- error: `{error.get('type', '?')}: {error.get('message', '')}`")
+                spec_json = error.get("spec_json")
+                if spec_json:
+                    lines.append("- spec:")
+                    lines.append("")
+                    lines.append("```json")
+                    lines.append(spec_json)
+                    lines.append("```")
+                lines.append("")
+        for table in self.tables():
+            lines.append(f"## {table.title}")
+            lines.append("")
+            if table.rows:
+                lines.append(table.to_markdown())
+            else:
+                lines.append(
+                    "_No records to aggregate (decision traces are required "
+                    "for Figures 2 and 5)._"
+                )
+            lines.append("")
+        return "\n".join(lines)
+
+    def write_markdown(
+        self, path: PathLike, title: str = "Campaign report"
+    ) -> Path:
+        """Write :meth:`to_markdown` to ``path``, creating parent directories."""
+        destination = Path(path)
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        destination.write_text(self.to_markdown(title), encoding="utf-8")
+        return destination
+
+    def write_csvs(self, directory: PathLike) -> List[Path]:
+        """Write one ``<key>.csv`` per figure table; returns the paths."""
+        base = Path(directory)
+        base.mkdir(parents=True, exist_ok=True)
+        written: List[Path] = []
+        for table in [self.mission_table()] + self.tables():
+            path = base / f"{table.key}.csv"
+            path.write_text(table.to_csv(), encoding="utf-8")
+            written.append(path)
+        return written

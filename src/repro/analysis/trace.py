@@ -1,0 +1,348 @@
+"""Structured mission trace records.
+
+The paper's figures are all derived quantities: latency vs. deadline
+(Figure 2), governor response to congestion (Figure 5), mission-level
+speedups (Figure 7) and sensitivity to the environment knobs (Figure 8).
+Instead of letting every benchmark re-derive them from live objects, a
+mission emits a stream of plain records — one :class:`DecisionRecord` per
+pipeline decision plus one :class:`MissionRecord` at the end — and the
+aggregation layer (:mod:`repro.analysis.figures`) folds streams of records
+into the figures.  Records are flat, JSON-serialisable values so they can be
+streamed to disk (:mod:`repro.analysis.io`), shipped across campaign worker
+processes and replayed long after the mission objects are gone.
+
+Serialisation is canonical: :func:`record_to_line` always produces the same
+bytes for the same record (sorted keys, minimal separators), which is what
+makes trace files byte-identical between serial and multiprocessing campaign
+runs of the same specs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.middleware.latency import comm_seconds, compute_seconds
+
+#: Discriminator values stored in each JSONL line's ``"kind"`` field.
+KIND_DECISION = "decision"
+KIND_MISSION = "mission"
+
+#: Schema version stamped into every line; bump when a field changes meaning.
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionRecord:
+    """Everything one pipeline decision saw and decided, as plain data.
+
+    One record is emitted per decision cascade (sense → profile → governor →
+    perception → planning → flight).  All times are simulated seconds, all
+    distances metres, all volumes cubic metres, all energies joules.
+
+    Attributes:
+        spec_name: the owning scenario's name ("" for ad-hoc missions).
+        design: runtime under test ("roborun" / "spatial_oblivious").
+        index: decision index within the mission, starting at 0.
+        timestamp: simulated time when the decision completed, seconds.
+        position: drone position (x, y, z) at decision time, metres.
+        zone: congestion zone name at the drone's position ("A"/"B"/"C").
+        speed: drone speed entering the decision, m/s.
+        velocity_cap: the governor's safe-velocity cap for the next flight
+            segment, m/s.
+        time_budget: the decision deadline δ_d allocated by the governor,
+            seconds.
+        predicted_latency: the solver's end-to-end latency prediction at the
+            chosen knobs, seconds.
+        solver_feasible: False when the solver fell back to the worst-case
+            policy.
+        policy: the chosen knob assignment (precisions in metres, volumes in
+            cubic metres) — the solver knobs of Table II.
+        stage_latencies: seconds charged per pipeline stage; ``comm_*`` keys
+            are the per-hop communication latencies (the Figure 11 bars).
+        end_to_end_latency: sum of all stage latencies, seconds.
+        visibility: usable look-ahead distance, metres.
+        closest_obstacle: distance to the nearest observed obstacle, metres.
+        gap_min / gap_avg: smallest / average gap between nearby obstacles,
+            metres.
+        sensor_volume: volume observable by the rig this decision, m³.
+        map_volume: volume already present in the occupancy map, m³.
+        map_voxels: occupied voxel count of the octree after this decision's
+            map update — the map-size axis of the scaling figures.
+        flown: distance flown during this decision's flight segment, metres.
+        interval: duration of the flight segment, seconds.
+        energy: energy spent during the segment (flight + compute), joules.
+        replanned: True when the piece-wise planner ran this decision.
+        dropped: True when the sensor frame was lost to a fault injection.
+        hit: True when the segment ended in a collision.
+    """
+
+    spec_name: str
+    design: str
+    index: int
+    timestamp: float
+    position: Tuple[float, float, float]
+    zone: str
+    speed: float
+    velocity_cap: float
+    time_budget: float
+    predicted_latency: float
+    solver_feasible: bool
+    policy: Dict[str, float]
+    stage_latencies: Dict[str, float]
+    end_to_end_latency: float
+    visibility: float
+    closest_obstacle: float
+    gap_min: float
+    gap_avg: float
+    sensor_volume: float
+    map_volume: float
+    map_voxels: int
+    flown: float
+    interval: float
+    energy: float
+    replanned: bool
+    dropped: bool
+    hit: bool
+
+    @property
+    def compute_latency(self) -> float:
+        """Computation (non-``comm_*``) share of the decision latency, seconds."""
+        return compute_seconds(self.stage_latencies)
+
+    @property
+    def comm_latency(self) -> float:
+        """Communication (``comm_*`` hop) share of the decision latency, seconds."""
+        return comm_seconds(self.stage_latencies)
+
+    @property
+    def deadline_met(self) -> bool:
+        """True when the decision finished within its time budget."""
+        return self.end_to_end_latency <= self.time_budget + 1e-9
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form with the ``kind`` / ``v`` envelope fields."""
+        return {
+            "kind": KIND_DECISION,
+            "v": TRACE_SCHEMA_VERSION,
+            "spec_name": self.spec_name,
+            "design": self.design,
+            "index": self.index,
+            "timestamp": self.timestamp,
+            "position": list(self.position),
+            "zone": self.zone,
+            "speed": self.speed,
+            "velocity_cap": self.velocity_cap,
+            "time_budget": self.time_budget,
+            "predicted_latency": self.predicted_latency,
+            "solver_feasible": self.solver_feasible,
+            "policy": dict(self.policy),
+            "stage_latencies": dict(self.stage_latencies),
+            "end_to_end_latency": self.end_to_end_latency,
+            "visibility": self.visibility,
+            "closest_obstacle": self.closest_obstacle,
+            "gap_min": self.gap_min,
+            "gap_avg": self.gap_avg,
+            "sensor_volume": self.sensor_volume,
+            "map_volume": self.map_volume,
+            "map_voxels": self.map_voxels,
+            "flown": self.flown,
+            "interval": self.interval,
+            "energy": self.energy,
+            "replanned": self.replanned,
+            "dropped": self.dropped,
+            "hit": self.hit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DecisionRecord":
+        return cls(
+            spec_name=data["spec_name"],
+            design=data["design"],
+            index=int(data["index"]),
+            timestamp=float(data["timestamp"]),
+            position=tuple(float(v) for v in data["position"]),
+            zone=data["zone"],
+            speed=float(data["speed"]),
+            velocity_cap=float(data["velocity_cap"]),
+            time_budget=float(data["time_budget"]),
+            predicted_latency=float(data["predicted_latency"]),
+            solver_feasible=bool(data["solver_feasible"]),
+            policy={k: float(v) for k, v in data["policy"].items()},
+            stage_latencies={
+                k: float(v) for k, v in data["stage_latencies"].items()
+            },
+            end_to_end_latency=float(data["end_to_end_latency"]),
+            visibility=float(data["visibility"]),
+            closest_obstacle=float(data["closest_obstacle"]),
+            gap_min=float(data["gap_min"]),
+            gap_avg=float(data["gap_avg"]),
+            sensor_volume=float(data["sensor_volume"]),
+            map_volume=float(data["map_volume"]),
+            map_voxels=int(data["map_voxels"]),
+            flown=float(data["flown"]),
+            interval=float(data["interval"]),
+            energy=float(data["energy"]),
+            replanned=bool(data["replanned"]),
+            dropped=bool(data["dropped"]),
+            hit=bool(data["hit"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class MissionRecord:
+    """One mission's identity, environment knobs and final metrics.
+
+    Emitted once at the end of a mission (or, for a failed campaign spec,
+    instead of a mission).  Together with its decision records this is the
+    complete provenance of one experiment: what was asked (the spec), what
+    knobs the environment had, and what came out (the metrics or the error).
+
+    Attributes:
+        spec_name: the scenario's name within its campaign.
+        design: runtime under test ("roborun" / "spatial_oblivious").
+        seed: the per-mission RNG seed (environment + planner).
+        environment: the difficulty knobs the environment was generated from
+            (``obstacle_density`` fraction, ``obstacle_spread`` metres,
+            ``goal_distance`` metres, …).
+        metrics: :meth:`repro.simulation.metrics.MissionMetrics.as_dict`
+            (times in seconds, distances in metres, energy in kilojoules);
+            empty for a failed spec.
+        error: ``None`` on success; otherwise ``{"type", "message",
+            "traceback", "spec_json"}`` describing the per-spec failure.
+        spec: the full scenario spec as plain data, when known.
+    """
+
+    spec_name: str
+    design: str
+    seed: int
+    environment: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    error: Optional[Dict[str, str]] = None
+    spec: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def from_result(
+        cls,
+        result: Any,
+        spec: Optional[Any] = None,
+        spec_name: str = "",
+    ) -> "MissionRecord":
+        """Build a record from a live :class:`~repro.simulation.mission.
+        MissionResult` (and optionally its scenario spec).
+
+        This is the bridge for callers that flew missions without streaming
+        traces — e.g. the benchmark harness — so they can still feed the
+        shared figure aggregators.
+        """
+        spec_dict = None
+        environment: Dict[str, Any] = {}
+        seed = 0
+        if spec is not None:
+            spec_dict = jsonify(spec.to_dict()) if hasattr(spec, "to_dict") else jsonify(dict(spec))
+            environment = dict(spec_dict.get("environment", {}))
+            seed = int(environment.get("seed", 0))
+            spec_name = spec_name or spec_dict.get("name", "")
+        return cls(
+            spec_name=spec_name,
+            design=result.design,
+            seed=seed,
+            environment=environment,
+            metrics=result.metrics.as_dict(),
+            error=None,
+            spec=spec_dict,
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True when the mission ran to completion (possibly unsuccessfully)."""
+        return self.error is None
+
+    @property
+    def success(self) -> bool:
+        """True when the drone reached the goal without colliding."""
+        return self.ok and bool(self.metrics.get("success"))
+
+    def knob(self, name: str) -> Optional[float]:
+        """One environment difficulty knob value, or None when unknown."""
+        value = self.environment.get(name)
+        return float(value) if value is not None else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form with the ``kind`` / ``v`` envelope fields."""
+        return {
+            "kind": KIND_MISSION,
+            "v": TRACE_SCHEMA_VERSION,
+            "spec_name": self.spec_name,
+            "design": self.design,
+            "seed": self.seed,
+            "environment": dict(self.environment),
+            "metrics": dict(self.metrics),
+            "error": dict(self.error) if self.error else None,
+            "spec": dict(self.spec) if self.spec else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MissionRecord":
+        return cls(
+            spec_name=data["spec_name"],
+            design=data["design"],
+            seed=int(data["seed"]),
+            environment=dict(data.get("environment") or {}),
+            metrics={k: float(v) for k, v in (data.get("metrics") or {}).items()},
+            error=dict(data["error"]) if data.get("error") else None,
+            spec=dict(data["spec"]) if data.get("spec") else None,
+        )
+
+
+TraceRecord = Union[DecisionRecord, MissionRecord]
+
+
+def jsonify(value: Any) -> Any:
+    """Normalise a value to what a JSON round-trip would make of it.
+
+    Records compare equal across write → read cycles only when the values
+    they carry are already in JSON's vocabulary (lists, not tuples); spec
+    dictionaries are passed through this before being stored in a record.
+    """
+    return json.loads(json.dumps(value))
+
+
+def record_to_line(record: TraceRecord) -> str:
+    """Canonical JSONL line (no trailing newline) for one record.
+
+    Sorted keys and minimal separators make the encoding a pure function of
+    the record's value, so identical missions produce byte-identical trace
+    files no matter which process wrote them.
+    """
+    return json.dumps(record.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def record_from_line(line: str) -> TraceRecord:
+    """Parse one JSONL line back into its record type.
+
+    Raises:
+        ValueError: when the line's ``kind`` field is missing or unknown.
+    """
+    data = json.loads(line)
+    kind = data.get("kind")
+    if kind == KIND_DECISION:
+        return DecisionRecord.from_dict(data)
+    if kind == KIND_MISSION:
+        return MissionRecord.from_dict(data)
+    raise ValueError(f"unknown trace record kind {kind!r}")
+
+
+def split_records(
+    records: Iterable[TraceRecord],
+) -> Tuple[List[DecisionRecord], List[MissionRecord]]:
+    """Partition a mixed record stream into (decisions, missions), in order."""
+    decisions: List[DecisionRecord] = []
+    missions: List[MissionRecord] = []
+    for record in records:
+        if isinstance(record, DecisionRecord):
+            decisions.append(record)
+        else:
+            missions.append(record)
+    return decisions, missions

@@ -58,7 +58,16 @@ class BaselineDesignPoint:
 
 
 class SpatialObliviousRuntime:
-    """Static worst-case runtime: fixed knobs, fixed deadline, fixed velocity."""
+    """Static worst-case runtime: fixed knobs, fixed deadline, fixed velocity.
+
+    The paper's baseline design point: knob settings (precisions in metres,
+    volumes in cubic metres) are chosen once, at design time, for the worst
+    case the mission might encounter, so every decision pays the same
+    latency (seconds) and flies at the same conservative velocity cap (m/s)
+    regardless of how open the space actually is.  It implements the same
+    per-decision ``Runtime`` protocol as RoboRun, which is what makes the
+    two designs swappable inside one pipeline.
+    """
 
     name = "spatial_oblivious"
     spatial_aware = False

@@ -49,7 +49,22 @@ class WaypointObservation:
 
 
 class TimeBudgeter:
-    """Computes decision deadlines from velocity and visibility."""
+    """Computes decision deadlines from velocity and visibility.
+
+    Implements Eq. 1 (and Algorithm 1 over an upcoming trajectory): the
+    decision deadline is the time the drone can afford to "fly blind" —
+    usable visibility (metres) minus the stopping distance at the current
+    velocity (m/s), divided by that velocity — capped at ``max_budget_s``
+    seconds so hovering drones get a large but finite budget.  The budget is
+    what the knob solver spends and what the governor inverts to derive the
+    safe velocity cap.
+
+    Attributes:
+        stopping_model: converts velocity (m/s) into stopping distance (m).
+        min_velocity: floor applied to the velocity, m/s, so budgets stay
+            finite while hovering.
+        max_budget_s: deadline ceiling, seconds.
+    """
 
     def __init__(
         self,

@@ -72,7 +72,18 @@ class PlanningOutput:
 
 
 class OperatorSet:
-    """Applies knob policies to the navigation pipeline's kernels."""
+    """Applies knob policies to the navigation pipeline's kernels.
+
+    The operators are the enforcement half of the governor's decisions: per
+    decision they run the point-cloud and OctoMap kernels at the policy's
+    precisions (voxel edges in metres) and volume budgets (cubic metres),
+    build the planner's coarsened map view, and run RRT* + smoothing inside
+    the allowed planning volume.  The set owns the long-lived pipeline
+    state — the occupancy octree and the planner's RNG — so repeated
+    missions over the same operators share one map, and tracks
+    ``plan_count`` (the number of piece-wise planner invocations reported
+    in the mission metrics).
+    """
 
     def __init__(
         self,

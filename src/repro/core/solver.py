@@ -77,9 +77,12 @@ class SolverResult:
     """Outcome of one solver invocation.
 
     Attributes:
-        policy: the chosen knob assignment.
-        predicted_latency: Σ_i δ_i at the chosen knobs plus fixed overheads.
-        objective: the achieved squared budget mismatch (Eq. 3's objective).
+        policy: the chosen knob assignment (precisions in metres, volumes
+            in cubic metres).
+        predicted_latency: Σ_i δ_i at the chosen knobs plus fixed overheads,
+            seconds.
+        objective: the achieved squared budget mismatch (Eq. 3's objective),
+            seconds².
         feasible: False when no knob assignment satisfied every constraint and
             the returned policy is the clamped fallback (finest precision,
             floor volumes).
@@ -92,7 +95,16 @@ class SolverResult:
 
 
 class KnobSolver:
-    """Solves Eq. 3 over the discrete precision ladder and continuous volumes."""
+    """Solves Eq. 3 over the discrete precision ladder and continuous volumes.
+
+    Given a time budget (seconds) and a space profile, the solver picks the
+    knob assignment — precisions from the power-of-two ladder (metres),
+    volumes from their continuous ranges (cubic metres) — whose predicted
+    end-to-end latency (Eq. 4) lands closest to the budget while satisfying
+    the space demands (precision no coarser than the observed gaps, volume
+    at least the sensed space).  When no assignment fits it falls back to
+    the worst-case-safe policy and flags the result infeasible.
+    """
 
     def __init__(
         self,

@@ -89,7 +89,14 @@ class EnvironmentConfig:
 
 @dataclass
 class GeneratedEnvironment:
-    """A generated world together with its mission endpoints and zone map."""
+    """A generated world together with its mission endpoints and zone map.
+
+    Bundles everything one mission needs of its surroundings: the obstacle
+    ``world`` (all coordinates in metres), the ``start`` and ``goal``
+    positions, the congestion ``zone_map`` (zones A and C are the congested
+    clusters at the mission's ends, B the open middle) and the cluster
+    centres the obstacles were scattered around.
+    """
 
     config: EnvironmentConfig
     world: World
@@ -104,7 +111,16 @@ class GeneratedEnvironment:
 
 
 class EnvironmentGenerator:
-    """Generates congestion-cluster environments from difficulty knobs."""
+    """Generates congestion-cluster environments from difficulty knobs.
+
+    Reproduces the paper's §IV generator: obstacles are sampled from
+    Gaussians around congestion-cluster centres placed in the start and goal
+    zones, parameterised by obstacle density (peak occupied fraction),
+    spread (scatter radius, metres) and goal distance (mission length,
+    metres).  The same :class:`EnvironmentConfig` and seed always produce
+    the same world; :meth:`generate_suite` builds the paper's 27-environment
+    evaluation grid.
+    """
 
     # Obstacle footprint dimensions: narrow pillars and wider rack-like blocks,
     # in metres, mimicking warehouse shelving and building clutter.

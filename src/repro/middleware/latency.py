@@ -31,6 +31,36 @@ COMM_STAGES: Sequence[str] = (
 )
 ALL_STAGES: Sequence[str] = tuple(COMPUTE_STAGES) + tuple(COMM_STAGES)
 
+#: Naming convention separating communication hops from compute stages.
+COMM_STAGE_PREFIX = "comm_"
+
+
+def is_comm_stage(stage: str) -> bool:
+    """True when a stage name denotes a communication hop (``comm_*``)."""
+    return stage.startswith(COMM_STAGE_PREFIX)
+
+
+def compute_seconds(stage_latencies: Mapping[str, float]) -> float:
+    """Sum of the computation (non-``comm_*``) stages, seconds.
+
+    The single definition of the compute-vs-communication split used by the
+    pipeline's CPU accounting, the decision traces and the trace records.
+    """
+    return sum(
+        seconds
+        for stage, seconds in stage_latencies.items()
+        if not is_comm_stage(stage)
+    )
+
+
+def comm_seconds(stage_latencies: Mapping[str, float]) -> float:
+    """Sum of the communication (``comm_*`` hop) stages, seconds."""
+    return sum(
+        seconds
+        for stage, seconds in stage_latencies.items()
+        if is_comm_stage(stage)
+    )
+
 
 @dataclass(frozen=True, slots=True)
 class LatencyRecord:
@@ -115,6 +145,15 @@ class LatencyLedger:
     def decisions(self) -> List[DecisionLatency]:
         """Per-decision latencies, ordered by decision index."""
         return [self._decisions[i] for i in sorted(self._decisions.keys())]
+
+    def stages_for(self, decision_index: int) -> Dict[str, float]:
+        """Stage → seconds map of one decision (a copy; empty when unrecorded).
+
+        The trace recorder reads the per-decision breakdown through this
+        accessor when the cascade's final message is delivered.
+        """
+        decision = self._decisions.get(decision_index)
+        return dict(decision.stages) if decision is not None else {}
 
     def end_to_end_latencies(self) -> List[float]:
         """End-to-end latency of every decision, in decision order."""

@@ -1,0 +1,171 @@
+"""``python -m repro.report`` — run a scenario grid and write a markdown report.
+
+The report CLI is the command-line face of :mod:`repro.analysis`: it flies a
+campaign described by a JSON grid file (or loads previously saved traces),
+streams every mission's structured trace to JSONL, folds the traces into the
+paper's figure tables (Figures 2, 5, 7 and 8) and writes a self-contained
+markdown report under ``reports/``.
+
+Usage::
+
+    # Fly a grid and report on it (traces land next to the report)
+    python -m repro.report --grid examples/grid_small.json
+
+    # Re-report saved traces without flying anything
+    python -m repro.report --traces reports/traces/grid_small
+
+    # More workers, CSV sidecars, custom destination
+    python -m repro.report --grid examples/grid_small.json \
+        --workers 4 --csv-dir reports/csv --out reports/small.md
+
+Grid files take one of three JSON shapes:
+
+* ``{"grid": {...}}`` — keyword arguments for
+  :func:`repro.simulation.scenario.scenario_grid` (``base_environment`` /
+  ``mission`` / ``faults`` given as plain dictionaries);
+* ``{"specs": [...]}`` — a list of full scenario-spec dictionaries;
+* ``[...]`` — the same list, bare.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.report import CampaignReport
+from repro.simulation.campaign import CampaignRunner
+from repro.simulation.scenario import ScenarioSpec, scenario_grid
+
+
+def load_grid_file(path: Path) -> List[ScenarioSpec]:
+    """Parse a grid JSON file into the campaign's scenario specs.
+
+    Raises:
+        ValueError: when the file matches none of the supported shapes.
+    """
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(data, list):
+        return [ScenarioSpec.from_dict(item) for item in data]
+    if not isinstance(data, dict):
+        raise ValueError(f"grid file {path} must hold a JSON object or list")
+    if "specs" in data:
+        return [ScenarioSpec.from_dict(item) for item in data["specs"]]
+    if "grid" in data:
+        return _grid_from_kwargs(dict(data["grid"]))
+    raise ValueError(
+        f"grid file {path} needs a 'grid' or 'specs' key (or a bare spec list)"
+    )
+
+
+def _grid_from_kwargs(kwargs: Dict[str, Any]) -> List[ScenarioSpec]:
+    """Build a :func:`scenario_grid` call from the grid file's plain data."""
+    from repro.environment.generator import EnvironmentConfig
+    from repro.simulation.faults import FaultSet
+    from repro.simulation.mission import MissionConfig
+
+    if "base_environment" in kwargs:
+        kwargs["base_environment"] = EnvironmentConfig(**kwargs["base_environment"])
+    if "mission" in kwargs:
+        kwargs["mission"] = MissionConfig(**kwargs["mission"])
+    if "faults" in kwargs:
+        kwargs["faults"] = FaultSet.from_dict(kwargs["faults"])
+    for knob in ("designs", "densities", "spreads", "goal_distances"):
+        if knob in kwargs:
+            kwargs[knob] = tuple(kwargs[knob])
+    return scenario_grid(**kwargs)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report",
+        description=(
+            "Fly a scenario grid (or load saved traces) and write a markdown "
+            "campaign report with the paper's figure tables."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--grid",
+        type=Path,
+        help="JSON grid file describing the campaign's scenario specs",
+    )
+    source.add_argument(
+        "--traces",
+        type=Path,
+        help="directory of saved *.jsonl traces to report on (no missions flown)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="markdown report destination (default: reports/<grid name>.md)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        help="where grid runs stream JSONL traces (default: reports/traces/<grid name>)",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=None,
+        help="also write one CSV per figure table into this directory",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="campaign pool size (default: one per core; 1 = serial)",
+    )
+    parser.add_argument(
+        "--title",
+        default=None,
+        help="report title (default derived from the grid / trace directory name)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.grid is not None:
+        stem = args.grid.stem
+        out = args.out or Path("reports") / f"{stem}.md"
+        trace_dir = args.trace_dir or Path("reports") / "traces" / stem
+        specs = load_grid_file(args.grid)
+        print(f"Flying {len(specs)} scenario(s) from {args.grid} ...")
+        campaign = CampaignRunner(max_workers=args.workers).run(
+            specs, trace_dir=trace_dir
+        )
+        failures = campaign.failures()
+        flown = len(campaign) - len(failures)
+        print(f"  {flown} flew, {len(failures)} failed; traces in {trace_dir}/")
+        # The report is rebuilt from the trace files alone: what the report
+        # shows is exactly what a later --traces run would show.
+        report = CampaignReport.from_trace_dir(trace_dir)
+    else:
+        stem = args.traces.name
+        out = args.out or Path("reports") / f"{stem}.md"
+        report = CampaignReport.from_trace_dir(args.traces)
+        print(
+            f"Loaded {len(report.missions)} mission(s) / "
+            f"{len(report.decisions)} decision record(s) from {args.traces}/"
+        )
+
+    title = args.title or f"RoboRun campaign report — {stem}"
+    destination = report.write_markdown(out, title=title)
+    print(f"Report written to {destination}")
+    if args.csv_dir is not None:
+        written = report.write_csvs(args.csv_dir)
+        print(f"{len(written)} CSV table(s) written to {args.csv_dir}/")
+    if report.failures():
+        print(f"WARNING: {len(report.failures())} spec(s) failed; see the report")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,13 +15,26 @@ it runs serially or across any number of workers.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
+import traceback as _traceback
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.simulation.mission import MissionResult
 from repro.simulation.scenario import ScenarioSpec
+
+
+def _error_record(spec_dict: Dict[str, Any], exc: BaseException) -> Dict[str, str]:
+    """The per-spec failure description shipped back to the campaign parent."""
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": _traceback.format_exc(),
+        "spec_json": json.dumps(spec_dict, sort_keys=True),
+    }
 
 
 def _run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -31,40 +44,114 @@ def _run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     crosses the process boundary is a dictionary, so no live object graph is
     pickled.  When the caller asked to keep full results, the heavyweight
     pipeline (bus, executor, node callbacks) is stripped first.
+
+    A spec that raises does not kill the campaign: the worker returns an
+    ``error`` row carrying the exception, its traceback and the failing
+    spec's JSON, so campaign reports can show partial failures.  When the
+    payload names a ``trace_dir``, the mission streams one JSONL trace file
+    (decision records plus the final mission record — or an error record for
+    a failed spec) into it.
     """
-    spec = ScenarioSpec.from_dict(payload["spec"])
-    result = spec.run()
-    row: Dict[str, Any] = {
-        "spec": payload["spec"],
-        "metrics": result.metrics.as_dict(),
-    }
-    if payload.get("keep_results"):
-        result.pipeline = None
-        row["result"] = result
+    spec_dict = payload["spec"]
+    row: Dict[str, Any] = {"spec": spec_dict}
+    writer = None
+    recorder = None
+    try:
+        # The writer is opened before the spec is parsed (from the raw dict's
+        # name) so that even a spec that fails to *parse* leaves an error
+        # record in the trace stream; imports are lazy so workers without
+        # tracing never load the analysis package.
+        if payload.get("trace_dir"):
+            from repro.analysis.io import TraceWriter, trace_path
+
+            writer = TraceWriter(
+                trace_path(payload["trace_dir"], str(spec_dict.get("name", "unnamed")))
+            )
+        spec = ScenarioSpec.from_dict(spec_dict)
+        if writer is not None:
+            from repro.analysis.recorder import TraceRecorder
+
+            recorder = TraceRecorder(writer=writer, spec=spec, keep_records=False)
+        result = spec.run(recorder=recorder)
+        row["metrics"] = result.metrics.as_dict()
+        if payload.get("keep_results"):
+            result.pipeline = None
+            row["result"] = result
+    except Exception as exc:  # noqa: BLE001 - the whole point is to surface it
+        error = _error_record(spec_dict, exc)
+        row["error"] = error
+        if writer is not None:
+            from repro.analysis.trace import MissionRecord
+
+            environment = dict(spec_dict.get("environment", {}))
+            writer.write(
+                MissionRecord(
+                    spec_name=spec_dict.get("name", "?"),
+                    design=spec_dict.get("design", "?"),
+                    seed=int(environment.get("seed", 0)),
+                    environment=environment,
+                    metrics={},
+                    error=error,
+                    spec=spec_dict,
+                )
+            )
+    finally:
+        if writer is not None:
+            writer.close()
     return row
 
 
 @dataclass(frozen=True, slots=True)
 class ScenarioOutcome:
-    """One scenario's spec and the metrics its mission produced."""
+    """One scenario's spec and what its mission produced.
+
+    Attributes:
+        spec: the scenario that was flown.
+        metrics: the mission's flat metric dictionary (times in seconds,
+            distances in metres, energy in kilojoules); ``None`` when the
+            spec errored instead of flying.
+        result: the full :class:`~repro.simulation.mission.MissionResult`
+            when the campaign was run with ``keep_results=True``.
+        error: ``None`` on success; otherwise the per-spec failure record
+            (``type`` / ``message`` / ``traceback`` / ``spec_json``).
+    """
 
     spec: ScenarioSpec
-    metrics: Dict[str, float]
+    metrics: Optional[Dict[str, float]]
     result: Optional[MissionResult] = None
+    error: Optional[Dict[str, str]] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the mission ran to completion (possibly unsuccessfully)."""
+        return self.error is None
 
     @property
     def success(self) -> bool:
-        return bool(self.metrics.get("success"))
+        """True when the drone reached the goal without colliding."""
+        return self.ok and bool((self.metrics or {}).get("success"))
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"spec": self.spec.to_dict(), "metrics": dict(self.metrics)}
+        return {
+            "spec": self.spec.to_dict(),
+            "metrics": dict(self.metrics) if self.metrics is not None else None,
+            "error": dict(self.error) if self.error is not None else None,
+        }
 
 
 @dataclass
 class CampaignResult:
-    """Aggregated outcomes of one campaign, in spec order."""
+    """Aggregated outcomes of one campaign, in spec order.
+
+    Attributes:
+        outcomes: one :class:`ScenarioOutcome` per spec, in spec order
+            (including error outcomes for specs that failed to run).
+        trace_dir: the directory the campaign streamed JSONL traces into,
+            when it was run with one.
+    """
 
     outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    trace_dir: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -79,16 +166,24 @@ class CampaignResult:
             groups.setdefault(outcome.spec.design, []).append(outcome)
         return groups
 
+    def failures(self) -> List[ScenarioOutcome]:
+        """Outcomes whose spec raised instead of flying, in spec order."""
+        return [o for o in self.outcomes if not o.ok]
+
     def success_rate(self, design: Optional[str] = None) -> float:
-        """Fraction of missions that reached the goal without colliding."""
+        """Fraction of specs that reached the goal without colliding.
+
+        Failed specs count against the rate: a campaign where half the specs
+        crashed did not succeed on those specs.
+        """
         selected = self._select(design)
         if not selected:
             return 0.0
         return sum(1 for o in selected if o.success) / len(selected)
 
     def mean_metric(self, key: str, design: Optional[str] = None) -> float:
-        """Mean of one mission metric over the (optionally filtered) campaign."""
-        selected = self._select(design)
+        """Mean of one mission metric over the missions that actually flew."""
+        selected = [o for o in self._select(design) if o.ok]
         if not selected:
             return 0.0
         return sum(o.metrics[key] for o in selected) / len(selected)
@@ -99,6 +194,7 @@ class CampaignResult:
         for design, outcomes in self.by_design().items():
             table[design] = {
                 "missions": float(len(outcomes)),
+                "failed": float(sum(1 for o in outcomes if not o.ok)),
                 "success_rate": self.success_rate(design),
                 "mean_mission_time_s": self.mean_metric("mission_time_s", design),
                 "mean_velocity_mps": self.mean_metric("mean_velocity_mps", design),
@@ -145,21 +241,54 @@ class CampaignRunner:
         return min(os.cpu_count() or 1, job_count)
 
     def run(
-        self, specs: Sequence[ScenarioSpec], keep_results: bool = False
+        self,
+        specs: Sequence[ScenarioSpec],
+        keep_results: bool = False,
+        trace_dir: Optional[Any] = None,
     ) -> CampaignResult:
         """Fly every scenario and fold the outcomes, in spec order.
+
+        A spec that raises does not abort the campaign: its outcome carries
+        an error record (exception type, message, traceback and the failing
+        spec's JSON) and the aggregates are computed over the missions that
+        completed.
 
         Args:
             specs: the campaign's scenarios; names should be unique.
             keep_results: also return each mission's full
                 :class:`MissionResult` (traces, ledger, environment) on the
                 outcome — heavier to transfer, needed by trace-level figures.
+            trace_dir: when given, every worker streams its mission's
+                structured trace to ``<trace_dir>/<spec name>.jsonl`` (one
+                decision record per decision plus the mission record).  The
+                directory is swept of stale ``*.jsonl`` files first, so
+                after the campaign it holds exactly this campaign's traces;
+                the files depend only on the specs, so serial and parallel
+                runs of the same campaign produce byte-identical traces.
         """
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
             raise ValueError("scenario names within a campaign must be unique")
+        if trace_dir is not None:
+            from repro.analysis.io import clear_traces, trace_path
+
+            stems = [trace_path(trace_dir, name).name for name in names]
+            if len(set(stems)) != len(stems):
+                # Distinct names can collide once path separators are
+                # flattened ("a/b" and "a_b" share a trace file).
+                raise ValueError(
+                    "scenario names map to colliding trace files; rename the "
+                    "specs so their sanitised names are unique"
+                )
+            Path(trace_dir).mkdir(parents=True, exist_ok=True)
+            clear_traces(trace_dir)
         payloads = [
-            {"spec": spec.to_dict(), "keep_results": keep_results} for spec in specs
+            {
+                "spec": spec.to_dict(),
+                "keep_results": keep_results,
+                "trace_dir": str(trace_dir) if trace_dir is not None else None,
+            }
+            for spec in specs
         ]
         workers = self._pool_size(len(payloads))
         if workers <= 1 or len(payloads) <= 1:
@@ -177,9 +306,13 @@ class CampaignRunner:
         outcomes = [
             ScenarioOutcome(
                 spec=spec,
-                metrics=row["metrics"],
+                metrics=row.get("metrics"),
                 result=row.get("result"),
+                error=row.get("error"),
             )
             for spec, row in zip(specs, rows)
         ]
-        return CampaignResult(outcomes=outcomes)
+        return CampaignResult(
+            outcomes=outcomes,
+            trace_dir=str(trace_dir) if trace_dir is not None else None,
+        )

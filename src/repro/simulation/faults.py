@@ -66,7 +66,8 @@ class CameraDegradation:
     """Permanent resolution loss from a given decision onward.
 
     Attributes:
-        width / height: per-camera resolution after the fault strikes.
+        width / height: per-camera capture resolution after the fault
+            strikes, pixels.
         after_decision: first decision index captured at the reduced
             resolution.
     """

@@ -13,11 +13,34 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.geometry.vec3 import Vec3
+from repro.middleware.latency import compute_seconds
 
 
 @dataclass(frozen=True, slots=True)
 class DecisionTrace:
-    """Everything recorded about a single decision of a mission."""
+    """Everything recorded about a single decision of a mission.
+
+    The pipeline's always-on, in-memory record (the streamable counterpart
+    with identity and energy attached is
+    :class:`repro.analysis.trace.DecisionRecord`).
+
+    Attributes:
+        index: decision index within the mission, starting at 0.
+        timestamp: simulated time when the decision completed, seconds.
+        position: drone position at decision time, metres.
+        zone: congestion zone name at that position ("A"/"B"/"C").
+        speed: drone speed entering the decision, m/s.
+        velocity_cap: the governor's safe-velocity cap, m/s.
+        time_budget: the decision deadline δ_d, seconds.
+        policy: the chosen knob assignment (precisions in metres, volumes
+            in cubic metres).
+        stage_latencies: seconds charged per pipeline stage (``comm_*``
+            keys are the communication hops).
+        end_to_end_latency: sum of all stage latencies, seconds.
+        visibility: usable look-ahead distance, metres.
+        closest_obstacle: distance to the nearest observed obstacle, metres.
+        replanned: True when the piece-wise planner ran this decision.
+    """
 
     index: int
     timestamp: float
@@ -35,12 +58,8 @@ class DecisionTrace:
 
     @property
     def compute_latency(self) -> float:
-        """Computation (non-communication) part of the decision latency."""
-        return sum(
-            seconds
-            for stage, seconds in self.stage_latencies.items()
-            if not stage.startswith("comm_")
-        )
+        """Computation (non-communication) part of the decision latency, seconds."""
+        return compute_seconds(self.stage_latencies)
 
     @property
     def deadline_met(self) -> bool:

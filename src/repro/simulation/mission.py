@@ -18,7 +18,7 @@ in the nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence
 
 from repro.compute.costs import WorkloadCostModel
 from repro.control.follower import PurePursuitFollower
@@ -38,6 +38,9 @@ from repro.sensors.state_sensors import StateSensorSuite
 from repro.simulation.faults import FaultSet
 from repro.simulation.metrics import DecisionTrace, MissionMetrics
 from repro.simulation.pipeline import DecisionPipeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.recorder import TraceRecorder
 
 
 class Runtime(Protocol):
@@ -132,7 +135,20 @@ class MissionConfig:
 
 @dataclass
 class MissionResult:
-    """Metrics plus per-decision traces for one mission."""
+    """Everything one flown mission produced.
+
+    Attributes:
+        metrics: the mission-level summary (times in seconds, distances in
+            metres, energy in joules).
+        traces: one :class:`~repro.simulation.metrics.DecisionTrace` per
+            decision, in decision order.
+        ledger: the per-stage latency ledger (seconds per stage per
+            decision).
+        environment: the generated world the mission flew through.
+        design: name of the runtime evaluated.
+        pipeline: the live node graph (``None`` once a result has crossed a
+            campaign process boundary).
+    """
 
     metrics: MissionMetrics
     traces: List[DecisionTrace]
@@ -147,7 +163,17 @@ class MissionResult:
 
 
 class MissionSimulator:
-    """Runs one mission of one design through one generated environment."""
+    """Runs one mission of one design through one generated environment.
+
+    Wires the six-node decision pipeline over the simulator's kernels and
+    models, drives one decision cascade per sensor tick
+    (``sensor_period_s`` seconds apart, or slower when the decision latency
+    exceeds the period) and assembles the
+    :class:`~repro.simulation.metrics.MissionMetrics` at termination (goal
+    reached, collision, plan-failure streak, or the time/decision caps).
+    Repeated ``run()`` calls share the operator set, so the occupancy map
+    persists across runs of the same simulator.
+    """
 
     def __init__(
         self,
@@ -223,11 +249,21 @@ class MissionSimulator:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self) -> MissionResult:
-        """Fly the mission and return its metrics and traces."""
+    def run(self, recorder: Optional["TraceRecorder"] = None) -> MissionResult:
+        """Fly the mission and return its metrics and traces.
+
+        Args:
+            recorder: optional :class:`~repro.analysis.recorder.
+                TraceRecorder`; when given it is attached to the pipeline as
+                a passive topic tap and receives one structured record per
+                decision plus the final mission record.  ``None`` (the
+                default) adds no tracing work at all.
+        """
         cfg = self.config
         env = self.environment
         pipeline = self.build_pipeline()
+        if recorder is not None:
+            pipeline.add_tap(recorder, energy_model=self.energy_model)
         clock = pipeline.clock
 
         distance_travelled = 0.0
@@ -280,6 +316,8 @@ class MissionSimulator:
             deadline_miss_rate=deadline_misses / len(traces) if traces else 0.0,
             replan_count=self.operators.plan_count,
         )
+        if recorder is not None:
+            recorder.on_mission_end(metrics)
         return MissionResult(
             metrics=metrics,
             traces=traces,

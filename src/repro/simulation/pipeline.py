@@ -55,7 +55,7 @@ from repro.geometry.aabb import AABB
 from repro.geometry.vec3 import Vec3
 from repro.middleware.clock import SimClock
 from repro.middleware.executor import Executor
-from repro.middleware.latency import LatencyLedger
+from repro.middleware.latency import LatencyLedger, compute_seconds
 from repro.middleware.message import Message
 from repro.middleware.node import Node
 from repro.middleware.topic import TopicBus
@@ -625,12 +625,7 @@ class FlightNode(Node):
         )
         end_to_end = sum(stage_latencies.values())
         self._record_latencies(index, stage_latencies)
-        busy = sum(
-            seconds
-            for stage, seconds in stage_latencies.items()
-            if not stage.startswith("comm_")
-        )
-        self.cpu.record_decision(index, busy)
+        self.cpu.record_decision(index, compute_seconds(stage_latencies))
 
         zone = self.environment.zone_map.zone_at(self.state.position).name
         self.traces.append(
@@ -838,6 +833,16 @@ class DecisionPipeline:
             self.planning,
             self.flight,
         )
+
+    def add_tap(self, tap, energy_model=None) -> None:
+        """Attach a passive observer (e.g. a trace recorder) to the graph.
+
+        A tap is anything with an ``attach(pipeline, energy_model=None)``
+        method; it subscribes to the bus topics as an ordinary subscriber and
+        must not publish.  Missions without taps carry no tracing overhead —
+        nothing is subscribed, so there is nothing to skip.
+        """
+        tap.attach(self, energy_model=energy_model)
 
     def step(self, decision_index: int) -> FlightResult:
         """Run one full decision cascade through the graph."""

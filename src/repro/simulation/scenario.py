@@ -18,11 +18,14 @@ import dataclasses
 import itertools
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.environment.generator import EnvironmentConfig, EnvironmentGenerator
 from repro.simulation.faults import FaultSet
 from repro.simulation.mission import MissionConfig, MissionResult, MissionSimulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.recorder import TraceRecorder
 
 DESIGNS = ("roborun", "spatial_oblivious")
 
@@ -91,9 +94,18 @@ class ScenarioSpec:
             faults=self.faults,
         )
 
-    def run(self) -> MissionResult:
-        """Fly the scenario once and return the full mission result."""
-        return self.build_simulator().run()
+    def run(self, recorder: Optional["TraceRecorder"] = None) -> MissionResult:
+        """Fly the scenario once and return the full mission result.
+
+        Args:
+            recorder: optional :class:`~repro.analysis.recorder.
+                TraceRecorder` to stream structured per-decision records to;
+                a recorder without a spec of its own is stamped with this
+                spec so its records carry the scenario's identity.
+        """
+        if recorder is not None and recorder.spec is None:
+            recorder.spec = self
+        return self.build_simulator().run(recorder=recorder)
 
     # ------------------------------------------------------------------
     # Serialisation

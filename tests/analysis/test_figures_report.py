@@ -1,0 +1,324 @@
+"""Figure aggregators, campaign error surfacing and the report CLI."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import (
+    CampaignRunner,
+    EnvironmentConfig,
+    MissionConfig,
+    ScenarioSpec,
+)
+from repro.analysis import CampaignReport, FigureTable
+from repro.analysis.figures import (
+    fig2_latency_deadline,
+    fig2a_model_table,
+    fig5_governor_response,
+    fig5_model_table,
+    fig7_overall,
+    fig8_sensitivity,
+)
+from repro.analysis.trace import DecisionRecord, MissionRecord
+from repro.report import load_grid_file, main as report_main
+
+TINY_ENV = EnvironmentConfig(
+    obstacle_density=0.3, obstacle_spread=30.0, goal_distance=60.0, seed=7
+)
+TINY_CFG = MissionConfig(max_decisions=12, max_mission_time_s=100.0)
+
+
+def make_decision(design="roborun", index=0, speed=1.0, visibility=10.0,
+                  latency=0.5, budget=2.0):
+    return DecisionRecord(
+        spec_name="t",
+        design=design,
+        index=index,
+        timestamp=float(index),
+        position=(0.0, 0.0, 5.0),
+        zone="A",
+        speed=speed,
+        velocity_cap=2.0,
+        time_budget=budget,
+        predicted_latency=latency,
+        solver_feasible=True,
+        policy={"point_cloud_precision": 0.6},
+        stage_latencies={"runtime": latency, "comm_control": 0.0},
+        end_to_end_latency=latency,
+        visibility=visibility,
+        closest_obstacle=5.0,
+        gap_min=1.0,
+        gap_avg=2.0,
+        sensor_volume=1000.0,
+        map_volume=500.0,
+        map_voxels=100,
+        flown=1.0,
+        interval=1.0,
+        energy=450.0,
+        replanned=False,
+        dropped=False,
+        hit=False,
+    )
+
+
+def make_mission(design="roborun", name="m", density=0.3, time_s=100.0, error=None):
+    return MissionRecord(
+        spec_name=name,
+        design=design,
+        seed=1,
+        environment={"obstacle_density": density, "obstacle_spread": 30.0,
+                     "goal_distance": 60.0},
+        metrics={} if error else {
+            "success": 1.0,
+            "mission_time_s": time_s,
+            "mean_velocity_mps": 60.0 / time_s,
+            "energy_kj": time_s * 0.5,
+            "mean_cpu_utilization": 0.5,
+            "decision_count": 10.0,
+        },
+        error=error,
+    )
+
+
+class TestFigureTable:
+    def test_markdown_and_csv(self):
+        table = FigureTable("k", "T", ["a", "b"], [[1, 2], [3, 4]])
+        md = table.to_markdown()
+        assert md.splitlines()[0] == "| a | b |"
+        assert "| 3 | 4 |" in md
+        assert table.to_csv() == "a,b\n1,2\n3,4\n"
+        assert table.as_rows() == [["a", "b"], [1, 2], [3, 4]]
+
+
+class TestTraceAggregators:
+    def test_fig2_bins_by_design_and_speed(self):
+        decisions = [
+            make_decision(speed=0.2, latency=0.4, budget=1.0),
+            make_decision(speed=0.3, latency=0.6, budget=2.0),
+            make_decision(design="spatial_oblivious", speed=0.2),
+        ]
+        table = fig2_latency_deadline(decisions)
+        # baseline row first, then roborun; one bucket each
+        assert table.rows[0][0] == "spatial_oblivious"
+        robo = table.rows[1]
+        assert robo[2] == 2  # two decisions in the [0, 0.5) bucket
+        assert robo[3] == pytest.approx(1.5)  # mean deadline
+        assert robo[4] == pytest.approx(0.5)  # mean latency
+        assert robo[5] == 1.0  # both met their deadline
+
+    def test_fig5_static_column_is_flat(self):
+        decisions = [
+            make_decision(design="spatial_oblivious", visibility=v,
+                          latency=2.0, budget=6.7)
+            for v in (2.0, 12.0, 22.0)
+        ] + [
+            make_decision(visibility=v, latency=0.2 + v / 100.0, budget=v / 2.0)
+            for v in (2.0, 12.0, 22.0)
+        ]
+        table = fig5_governor_response(decisions)
+        static_deadlines = {row[table.columns.index("spatial_oblivious_deadline_s")]
+                            for row in table.rows}
+        assert static_deadlines == {6.7}
+        robo_deadlines = [row[table.columns.index("roborun_deadline_s")]
+                          for row in table.rows]
+        assert robo_deadlines == sorted(robo_deadlines)
+
+    def test_fig7_improvement_ratios(self):
+        missions = [
+            make_mission(design="spatial_oblivious", name="b", time_s=200.0),
+            make_mission(design="roborun", name="r", time_s=100.0),
+        ]
+        table = fig7_overall(missions)
+        assert table.columns == ["metric", "spatial_oblivious", "roborun", "improvement"]
+        by_metric = {row[0]: row for row in table.rows}
+        assert by_metric["mission time (s)"][3] == pytest.approx(2.0)
+        assert by_metric["flight velocity (m/s)"][3] == pytest.approx(2.0)
+        assert by_metric["CPU utilization"][3] == pytest.approx(0.0)
+
+    def test_fig7_skips_errored_missions(self):
+        missions = [
+            make_mission(design="roborun", name="ok", time_s=100.0),
+            make_mission(design="roborun", name="bad",
+                         error={"type": "ValueError", "message": "boom"}),
+        ]
+        table = fig7_overall(missions)
+        assert table.rows[0] == ["missions", 1]
+
+    def test_fig8_ratio_and_degenerate_sweep(self):
+        missions = [
+            make_mission(name="a", density=0.3, time_s=100.0),
+            make_mission(name="b", density=0.6, time_s=150.0),
+        ]
+        table = fig8_sensitivity(missions, "obstacle_density")
+        assert table.meta["ratios"]["roborun"] == pytest.approx(1.5)
+        degenerate = fig8_sensitivity(missions, "obstacle_spread")
+        assert degenerate.meta["ratios"]["roborun"] is None
+        assert degenerate.rows[0][-1] == "n/a"
+
+    def test_failed_mission_decisions_excluded_from_fig_tables(self):
+        """Partial decision records of a crashed spec must not skew fig2/fig5."""
+        good = make_decision(speed=1.0, latency=0.5)
+        bad = dataclasses.replace(
+            make_decision(speed=1.0, latency=99.0), spec_name="bad"
+        )
+        missions = [
+            make_mission(name="t"),
+            make_mission(name="bad", error={"type": "X", "message": "y"}),
+        ]
+        report = CampaignReport([good, bad], missions)
+        fig2 = report.fig2()
+        assert sum(row[2] for row in fig2.rows) == 1  # only the completed one
+        assert all(row[4] != 99.0 for row in fig2.rows)
+
+    def test_model_tables_have_expected_shape(self):
+        fig2a = fig2a_model_table()
+        assert fig2a.columns[0] == "precision_m"
+        assert len(fig2a.rows) == 6
+        fig5 = fig5_model_table()
+        static = [row[1] for row in fig5.rows]
+        assert len(set(static)) == 1  # static latency is flat by construction
+
+
+class TestCampaignErrorRecords:
+    def _good_spec(self):
+        return ScenarioSpec(
+            name="good", design="roborun", environment=TINY_ENV, mission=TINY_CFG
+        )
+
+    def test_worker_surfaces_exception_as_error_row(self):
+        from repro.simulation.campaign import _run_payload
+
+        bad_payload = {
+            "spec": {"name": "bad", "design": "roborun",
+                     "environment": {"obstacle_density": 5.0}},
+            "keep_results": False,
+        }
+        row = _run_payload(bad_payload)
+        assert "metrics" not in row
+        assert row["error"]["type"] == "ValueError"
+        assert "obstacle density" in row["error"]["message"]
+        assert json.loads(row["error"]["spec_json"])["name"] == "bad"
+        assert "Traceback" in row["error"]["traceback"]
+
+    def test_unparseable_spec_still_leaves_error_trace(self, tmp_path):
+        """A spec that fails to even parse must leave an error record on disk."""
+        from repro.analysis import CampaignReport as Report
+        from repro.simulation.campaign import _run_payload
+
+        row = _run_payload({
+            "spec": {"name": "bad", "design": "roborun",
+                     "environment": {"obstacle_density": 5.0}},
+            "trace_dir": str(tmp_path),
+        })
+        assert row["error"]["type"] == "ValueError"
+        report = Report.from_trace_dir(tmp_path)
+        assert len(report.failures()) == 1
+        assert report.failures()[0].spec_name == "bad"
+
+    def test_clean_campaign_has_no_failures(self):
+        campaign = CampaignRunner(max_workers=1).run([self._good_spec()])
+        assert campaign.failures() == []
+        assert campaign.outcomes[0].ok
+
+    def test_error_outcome_aggregation(self, tmp_path, monkeypatch):
+        import repro.simulation.campaign as campaign_mod
+
+        good = self._good_spec()
+        bad = dataclasses.replace(good, name="boom")
+        original = campaign_mod.ScenarioSpec.run
+
+        def exploding_run(self, recorder=None):
+            if self.name == "boom":
+                raise RuntimeError("mid-mission failure")
+            return original(self, recorder=recorder)
+
+        monkeypatch.setattr(campaign_mod.ScenarioSpec, "run", exploding_run)
+        campaign = CampaignRunner(max_workers=1).run(
+            [good, bad], trace_dir=tmp_path
+        )
+        assert len(campaign.failures()) == 1
+        failure = campaign.failures()[0]
+        assert failure.spec.name == "boom"
+        assert failure.metrics is None
+        assert failure.error["type"] == "RuntimeError"
+        assert json.loads(failure.error["spec_json"])["name"] == "boom"
+        # Aggregates skip the failed spec but count it against success.
+        summary = campaign.summary()
+        assert summary["roborun"]["failed"] == 1.0
+        assert summary["roborun"]["mean_mission_time_s"] > 0
+        # The trace stream records the failure too, so trace-only reports
+        # show the partial failure.
+        report = CampaignReport.from_trace_dir(tmp_path)
+        assert len(report.failures()) == 1
+        assert report.failures()[0].spec_name == "boom"
+        markdown = report.to_markdown()
+        assert "Partial failures" in markdown
+        assert "RuntimeError" in markdown
+
+
+class TestReportCli:
+    def test_grid_file_shapes(self, tmp_path):
+        grid = tmp_path / "g.json"
+        grid.write_text(json.dumps({
+            "grid": {
+                "name_prefix": "g",
+                "designs": ["roborun"],
+                "densities": [0.3, 0.5],
+                "base_environment": {"obstacle_spread": 30.0, "goal_distance": 60.0},
+                "mission": {"max_decisions": 5},
+                "base_seed": 3,
+            }
+        }))
+        specs = load_grid_file(grid)
+        assert [s.design for s in specs] == ["roborun", "roborun"]
+        assert [s.seed for s in specs] == [3, 4]
+
+        listed = tmp_path / "list.json"
+        listed.write_text(json.dumps([s.to_dict() for s in specs]))
+        assert load_grid_file(listed) == specs
+
+        with pytest.raises(ValueError):
+            bad = tmp_path / "bad.json"
+            bad.write_text(json.dumps({"nope": 1}))
+            load_grid_file(bad)
+
+    def test_cli_end_to_end_on_tiny_grid(self, tmp_path):
+        grid = tmp_path / "tiny.json"
+        grid.write_text(json.dumps({
+            "grid": {
+                "name_prefix": "tiny",
+                "densities": [0.3],
+                "base_environment": {"obstacle_spread": 30.0, "goal_distance": 60.0,
+                                     "seed": 7},
+                "mission": {"max_decisions": 8, "max_mission_time_s": 60.0},
+                "base_seed": 7,
+            }
+        }))
+        out = tmp_path / "report.md"
+        trace_dir = tmp_path / "traces"
+        # A stale trace from an earlier, different campaign must not leak
+        # into the new report.
+        trace_dir.mkdir()
+        stale = trace_dir / "stale_spec.jsonl"
+        stale.write_text("")
+        code = report_main([
+            "--grid", str(grid),
+            "--out", str(out),
+            "--trace-dir", str(trace_dir),
+            "--workers", "1",
+            "--csv-dir", str(tmp_path / "csv"),
+        ])
+        assert code == 0
+        assert not stale.exists()
+        content = out.read_text()
+        assert content.strip()
+        assert "stale_spec" not in content
+        for anchor in ("Figure 2", "Figure 5", "Figure 7", "Figure 8"):
+            assert anchor in content
+        assert (tmp_path / "csv" / "fig7.csv").exists()
+        # Re-reporting from the saved traces alone reproduces the report.
+        out2 = tmp_path / "report2.md"
+        assert report_main(["--traces", str(trace_dir), "--out", str(out2)]) == 0
+        body = lambda text: text.split("\n", 1)[1]
+        assert body(out2.read_text()) == body(content)

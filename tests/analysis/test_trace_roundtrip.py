@@ -1,0 +1,193 @@
+"""Trace round-tripping: write → read → aggregate must lose nothing.
+
+Three invariants are pinned here:
+
+1. a mission's streamed JSONL trace reads back into exactly the records the
+   recorder held in memory;
+2. aggregating from a trace file equals aggregating from the in-memory
+   records (the figures are a pure function of the records); and
+3. campaign trace files are byte-identical between serial and
+   multiprocessing runs of the same specs.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    CampaignRunner,
+    EnvironmentConfig,
+    MissionConfig,
+    ScenarioSpec,
+)
+from repro.analysis import (
+    CampaignReport,
+    TraceReader,
+    TraceRecorder,
+    TraceWriter,
+    clear_traces,
+    read_traces,
+    trace_path,
+)
+from repro.analysis.trace import DecisionRecord, MissionRecord, record_from_line, record_to_line
+
+TINY_ENV = EnvironmentConfig(
+    obstacle_density=0.3, obstacle_spread=30.0, goal_distance=60.0, seed=7
+)
+TINY_CFG = MissionConfig(max_decisions=12, max_mission_time_s=100.0)
+
+
+def tiny_spec(name="tiny", design="roborun", seed=7):
+    return ScenarioSpec(
+        name=name,
+        design=design,
+        environment=dataclasses.replace(TINY_ENV, seed=seed),
+        mission=TINY_CFG,
+    ).seeded(seed)
+
+
+@pytest.fixture(scope="module")
+def traced_mission(tmp_path_factory):
+    """One traced mission: the recorder's memory plus its JSONL file."""
+    path = tmp_path_factory.mktemp("traces") / "tiny.jsonl"
+    spec = tiny_spec()
+    with TraceWriter(path) as writer:
+        recorder = TraceRecorder(writer=writer, spec=spec)
+        result = spec.run(recorder=recorder)
+    return {"path": path, "recorder": recorder, "result": result, "spec": spec}
+
+
+class TestRecorder:
+    def test_one_record_per_decision(self, traced_mission):
+        recorder = traced_mission["recorder"]
+        result = traced_mission["result"]
+        assert len(recorder.records) == result.metrics.decision_count
+        assert [r.index for r in recorder.records] == list(
+            range(len(recorder.records))
+        )
+        assert recorder.mission_record is not None
+        assert recorder.mission_record.ok
+
+    def test_records_carry_decision_content(self, traced_mission):
+        record = traced_mission["recorder"].records[0]
+        assert record.spec_name == "tiny"
+        assert record.design == "roborun"
+        assert record.time_budget > 0
+        assert record.end_to_end_latency > 0
+        assert record.policy  # solver knobs present
+        assert any(k.startswith("comm_") for k in record.stage_latencies)
+        assert record.map_voxels > 0
+        assert record.energy > 0
+        assert record.stage_latencies["runtime"] >= 0
+
+    def test_records_match_pipeline_traces(self, traced_mission):
+        """The tap sees exactly what the pipeline's own traces saw."""
+        recorder = traced_mission["recorder"]
+        result = traced_mission["result"]
+        for record, trace in zip(recorder.records, result.traces):
+            assert record.index == trace.index
+            assert record.stage_latencies == trace.stage_latencies
+            assert record.end_to_end_latency == trace.end_to_end_latency
+            assert record.time_budget == trace.time_budget
+            assert record.zone == trace.zone
+
+    def test_mission_record_metrics_match(self, traced_mission):
+        mission = traced_mission["recorder"].mission_record
+        assert mission.metrics == traced_mission["result"].metrics.as_dict()
+        assert mission.environment["seed"] == 7
+
+
+class TestRoundTrip:
+    def test_file_reads_back_to_identical_records(self, traced_mission):
+        records = TraceReader(traced_mission["path"]).records()
+        recorder = traced_mission["recorder"]
+        assert records[:-1] == recorder.records
+        assert records[-1] == recorder.mission_record
+
+    def test_line_codec_is_stable(self, traced_mission):
+        for record in traced_mission["recorder"].records:
+            line = record_to_line(record)
+            assert record_from_line(line) == record
+            assert record_to_line(record_from_line(line)) == line
+
+    def test_aggregation_from_file_equals_in_memory(self, traced_mission):
+        recorder = traced_mission["recorder"]
+        decisions, missions = read_traces([traced_mission["path"]])
+        from_file = CampaignReport(decisions, missions)
+        in_memory = CampaignReport(recorder.records, [recorder.mission_record])
+        for file_table, memory_table in zip(from_file.tables(), in_memory.tables()):
+            assert file_table.columns == memory_table.columns
+            assert file_table.rows == memory_table.rows
+        assert from_file.to_markdown() == in_memory.to_markdown()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            record_from_line('{"kind": "mystery"}')
+
+    def test_clear_traces(self, tmp_path):
+        (tmp_path / "old.jsonl").write_text("{}")
+        (tmp_path / "keep.txt").write_text("not a trace")
+        assert clear_traces(tmp_path) == 1
+        assert clear_traces(tmp_path) == 0
+        assert (tmp_path / "keep.txt").exists()
+        assert clear_traces(tmp_path / "missing") == 0
+
+
+class TestCampaignTraceDeterminism:
+    def test_serial_and_parallel_traces_byte_identical(self, tmp_path):
+        specs = [
+            tiny_spec(name="a", seed=1),
+            tiny_spec(name="b", design="spatial_oblivious", seed=2),
+        ]
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial = CampaignRunner(max_workers=1).run(specs, trace_dir=serial_dir)
+        parallel = CampaignRunner(max_workers=2).run(specs, trace_dir=parallel_dir)
+        assert serial.trace_dir == str(serial_dir)
+        assert parallel.trace_dir == str(parallel_dir)
+        for spec in specs:
+            serial_bytes = trace_path(serial_dir, spec.name).read_bytes()
+            parallel_bytes = trace_path(parallel_dir, spec.name).read_bytes()
+            assert serial_bytes, f"empty trace for {spec.name}"
+            assert serial_bytes == parallel_bytes
+
+    def test_campaign_trace_aggregates_match_outcomes(self, tmp_path):
+        specs = [
+            tiny_spec(name="a", seed=1),
+            tiny_spec(name="b", design="spatial_oblivious", seed=2),
+        ]
+        campaign = CampaignRunner(max_workers=1).run(specs, trace_dir=tmp_path)
+        report = CampaignReport.from_trace_dir(tmp_path)
+        assert len(report.missions) == 2
+        by_name = {m.spec_name: m for m in report.missions}
+        for outcome in campaign.outcomes:
+            assert by_name[outcome.spec.name].metrics == outcome.metrics
+
+    def test_stale_traces_swept_by_run(self, tmp_path):
+        ghost = tmp_path / "ghost.jsonl"
+        ghost.write_text("{}")
+        CampaignRunner(max_workers=1).run(
+            [tiny_spec(name="a", seed=1)], trace_dir=tmp_path
+        )
+        assert not ghost.exists()
+        assert trace_path(tmp_path, "a").exists()
+
+    def test_colliding_sanitised_names_rejected(self, tmp_path):
+        specs = [tiny_spec(name="a/b", seed=1), tiny_spec(name="a_b", seed=2)]
+        with pytest.raises(ValueError, match="colliding trace files"):
+            CampaignRunner(max_workers=1).run(specs, trace_dir=tmp_path)
+
+    def test_traced_mission_equals_untraced(self):
+        """Tracing must not perturb the mission (same seed, same metrics)."""
+        plain = tiny_spec(name="t", seed=3).run()
+        recorder = TraceRecorder(spec=tiny_spec(name="t", seed=3))
+        traced = tiny_spec(name="t", seed=3).run(recorder=recorder)
+        assert traced.metrics.as_dict() == plain.metrics.as_dict()
+
+
+class TestMissionRecordFromResult:
+    def test_from_result_matches_recorder(self, traced_mission):
+        record = MissionRecord.from_result(
+            traced_mission["result"], spec=traced_mission["spec"]
+        )
+        assert record == traced_mission["recorder"].mission_record
