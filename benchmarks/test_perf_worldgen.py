@@ -1,0 +1,61 @@
+"""Benchmark: procedural world generation throughput (worlds/second).
+
+Campaign fan-out regenerates every mission's world inside its worker, so
+world construction sits on the campaign critical path: a sweep of W workers
+over S specs pays S full world builds before a single decision runs.  This
+benchmark times every registered archetype end to end — obstacle placement
+plus the heterogeneity-field sampling pass — at the paper's mid-difficulty
+knobs on a reduced-scale corridor, checks each build is deterministic, and
+asserts a loose worlds/second floor so a pathological regression (e.g. an
+accidentally quadratic placement loop) fails loudly rather than silently
+tripling campaign times.
+
+Run with ``-s`` to see the per-archetype table.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_table
+
+from repro import EnvironmentConfig, WorldSpec, build_environment
+from repro.worlds import archetype_names
+
+# Reduced-scale corridor (the benchmark conftest's scale): mid density.
+BENCH_ENV = EnvironmentConfig(
+    obstacle_density=0.45, obstacle_spread=40.0, goal_distance=120.0, seed=11
+)
+REPEATS = 5
+#: Loose floor: every archetype must build well over one world per second
+#: (measured builds run one to two orders of magnitude faster than this).
+MIN_WORLDS_PER_SECOND = 1.0
+
+
+@pytest.mark.slow
+def test_worldgen_throughput():
+    rows = [["archetype", "obstacles", "field_samples", "worlds_per_s"]]
+    failures = []
+    for name in archetype_names():
+        spec = WorldSpec(archetype=name)
+        # Warm-up build, also used for the determinism spot check.
+        reference = build_environment(BENCH_ENV, spec)
+        start = time.perf_counter()
+        for _ in range(REPEATS):
+            environment = build_environment(BENCH_ENV, spec)
+        elapsed = time.perf_counter() - start
+        worlds_per_second = REPEATS / elapsed
+        assert environment.world.obstacle_count() == reference.world.obstacle_count()
+        assert environment.heterogeneity.samples == reference.heterogeneity.samples
+        rows.append(
+            [
+                name,
+                environment.world.obstacle_count(),
+                len(environment.heterogeneity.samples),
+                round(worlds_per_second, 1),
+            ]
+        )
+        if worlds_per_second < MIN_WORLDS_PER_SECOND:
+            failures.append((name, worlds_per_second))
+    print_table("World generation throughput", rows)
+    assert not failures, f"archetypes below {MIN_WORLDS_PER_SECOND}/s: {failures}"

@@ -6,7 +6,9 @@ Heterogeneity" end to end in pure Python: the navigation pipeline
 middleware substrate the runtime sits in, the drone/energy/compute models the
 evaluation depends on, and — at its centre — the RoboRun governor, profilers
 and operators plus the static spatial-oblivious baseline it is compared
-against.  On top sit the scenario/campaign layer (declarative missions
+against.  On top sit the procedural world library (:mod:`repro.worlds`:
+archetype registry, heterogeneity fields, dynamic obstacles), the
+scenario/campaign layer (declarative missions
 fanned across a process pool) and the analysis subsystem
 (:mod:`repro.analysis`): structured mission traces, streaming JSONL trace
 files, and the aggregators that fold traces into the paper's figures —
@@ -48,6 +50,16 @@ from repro.simulation.metrics import DecisionTrace, MissionMetrics
 from repro.simulation.mission import MissionConfig, MissionResult, MissionSimulator
 from repro.simulation.pipeline import DecisionPipeline, PipelineHop
 from repro.simulation.scenario import ScenarioSpec, scenario_grid
+from repro.worlds import (
+    DynamicObstacleSet,
+    HeterogeneityField,
+    MoverSpec,
+    WorldSpec,
+    archetype_names,
+    build_environment,
+    build_world,
+    register_archetype,
+)
 
 __version__ = "0.1.0"
 
@@ -59,6 +71,7 @@ __all__ = [
     "DecisionPipeline",
     "DecisionRecord",
     "DecisionTrace",
+    "DynamicObstacleSet",
     "EnvironmentConfig",
     "FigureTable",
     "EnvironmentGenerator",
@@ -66,6 +79,7 @@ __all__ = [
     "GeneratedEnvironment",
     "Governor",
     "GovernorDecision",
+    "HeterogeneityField",
     "KnobLimits",
     "KnobPolicy",
     "KnobSolver",
@@ -74,6 +88,7 @@ __all__ = [
     "MissionRecord",
     "MissionResult",
     "MissionSimulator",
+    "MoverSpec",
     "OperatorSet",
     "PipelineHop",
     "ProfilerSuite",
@@ -89,6 +104,11 @@ __all__ = [
     "TraceReader",
     "TraceRecorder",
     "TraceWriter",
+    "WorldSpec",
     "__version__",
+    "archetype_names",
+    "build_environment",
+    "build_world",
+    "register_archetype",
     "scenario_grid",
 ]

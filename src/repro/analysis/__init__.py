@@ -23,6 +23,7 @@ figures, in three layers:
 from repro.analysis.figures import (
     FIG8_KNOBS,
     FigureTable,
+    archetype_comparison,
     fig2_latency_deadline,
     fig2a_model_table,
     fig2b_model_table,
@@ -58,6 +59,7 @@ __all__ = [
     "TraceReader",
     "TraceRecorder",
     "TraceWriter",
+    "archetype_comparison",
     "fig2_latency_deadline",
     "fig2a_model_table",
     "fig2b_model_table",

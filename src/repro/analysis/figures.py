@@ -333,6 +333,78 @@ def fig8_sensitivity(
 
 
 # ----------------------------------------------------------------------
+# Per-archetype comparison — governor vs. baseline across world shapes
+# ----------------------------------------------------------------------
+def archetype_comparison(missions: Sequence[MissionRecord]) -> FigureTable:
+    """Governor vs. baseline, one row per world archetype.
+
+    Groups completed missions by the archetype recorded in their spec
+    (pre-worlds records count as ``paper_corridor``) and reports, per
+    design, the mission count, success rate, mean mission time and mean
+    velocity.  When both designs of the A/B pair flew an archetype the
+    ``time_speedup`` column shows how many times faster RoboRun finished
+    there — the per-shape version of the paper's headline ratio.
+    ``meta["speedups"]`` maps each archetype to its ratio (``None`` when
+    the pair is incomplete).
+    """
+    usable = ok_missions(missions)
+    archetypes = sorted({m.archetype for m in usable})
+    designs = design_order([m.design for m in usable])
+    columns = ["archetype"]
+    for design in designs:
+        columns.extend(
+            [
+                f"{design}_missions",
+                f"{design}_success_rate",
+                f"{design}_time_s",
+                f"{design}_velocity_mps",
+            ]
+        )
+    columns.append("time_speedup")
+    rows: List[List[Any]] = []
+    speedups: Dict[str, Optional[float]] = {}
+    for archetype in archetypes:
+        row: List[Any] = [archetype]
+        times: Dict[str, float] = {}
+        for design in designs:
+            members = [
+                m for m in usable if m.archetype == archetype and m.design == design
+            ]
+            if members:
+                mean_time = _mean([m.metrics["mission_time_s"] for m in members])
+                times[design] = mean_time
+                row.extend(
+                    [
+                        len(members),
+                        round(sum(1 for m in members if m.success) / len(members), 3),
+                        round(mean_time, 1),
+                        round(
+                            _mean([m.metrics["mean_velocity_mps"] for m in members]), 3
+                        ),
+                    ]
+                )
+            else:
+                row.extend([0, "-", "-", "-"])
+        base = times.get(BASELINE_DESIGN)
+        robo = times.get(ROBORUN_DESIGN)
+        if base is not None and robo is not None and robo > 0:
+            speedup: Optional[float] = base / robo
+            row.append(round(speedup, 2))
+        else:
+            speedup = None
+            row.append("n/a")
+        speedups[archetype] = speedup
+        rows.append(row)
+    return FigureTable(
+        key="archetypes",
+        title="Per-archetype comparison: governor vs. baseline across world archetypes",
+        columns=columns,
+        rows=rows,
+        meta={"speedups": speedups, "archetypes": archetypes},
+    )
+
+
+# ----------------------------------------------------------------------
 # Analytical model tables (Figures 2 and 5 as the paper draws them)
 # ----------------------------------------------------------------------
 def fig2a_model_table(

@@ -168,8 +168,17 @@ class TraceRecorder:
             )
 
         position = profile.position
-        zone = pipeline.environment.zone_map.zone_at(position).name
+        environment = pipeline.environment
+        zone = environment.zone_map.zone_at(position).name
         octree = pipeline.flight.operators.octree
+        # Worlds-layer context: the archetype name and the interpolated local
+        # difficulty (one lerp against the precomputed heterogeneity field;
+        # 0.0 for environments built without one).
+        archetype = getattr(environment, "archetype", "") or ""
+        if hasattr(environment, "difficulty_at"):
+            difficulty = float(environment.difficulty_at(position))
+        else:  # pragma: no cover - stub environments in tests
+            difficulty = 0.0
         record = DecisionRecord(
             spec_name=self.spec_name,
             design=pipeline.governor.runtime.name,
@@ -198,6 +207,8 @@ class TraceRecorder:
             replanned=planning.replanned,
             dropped=dropped,
             hit=result.hit,
+            archetype=archetype,
+            difficulty=difficulty,
         )
         self._emit(record)
 

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 from repro.analysis.figures import (
     FIG8_KNOBS,
     FigureTable,
+    archetype_comparison,
     fig2_latency_deadline,
     fig5_governor_response,
     fig7_overall,
@@ -125,9 +126,16 @@ class CampaignReport:
         a knob was not swept — the ratio column then reads ``n/a``)."""
         return [fig8_sensitivity(self.missions, knob) for knob in knobs]
 
+    def archetypes(self) -> FigureTable:
+        """Per-archetype governor-vs-baseline table from the mission records."""
+        return archetype_comparison(self.missions)
+
     def tables(self) -> List[FigureTable]:
-        """Every figure table of the report, in paper order."""
-        return [self.fig2(), self.fig5(), self.fig7()] + self.fig8()
+        """Every figure table of the report: paper order, then the
+        per-archetype comparison."""
+        return [self.fig2(), self.fig5(), self.fig7()] + self.fig8() + [
+            self.archetypes()
+        ]
 
     def failures(self) -> List[MissionRecord]:
         """Mission records of specs that errored instead of flying."""

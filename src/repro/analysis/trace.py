@@ -76,6 +76,13 @@ class DecisionRecord:
         replanned: True when the piece-wise planner ran this decision.
         dropped: True when the sensor frame was lost to a fault injection.
         hit: True when the segment ended in a collision.
+        archetype: world-archetype name the mission flew through
+            ("paper_corridor" unless the scenario named another world; ""
+            for pre-worlds traces).
+        difficulty: local corridor difficulty in [0, 1] at the decision's
+            position, interpolated from the environment's heterogeneity
+            field (0.0 when the environment has none — including every
+            pre-worlds trace).
     """
 
     spec_name: str
@@ -105,6 +112,9 @@ class DecisionRecord:
     replanned: bool
     dropped: bool
     hit: bool
+    # Worlds-layer fields; defaulted so pre-worlds trace lines still parse.
+    archetype: str = ""
+    difficulty: float = 0.0
 
     @property
     def compute_latency(self) -> float:
@@ -153,6 +163,8 @@ class DecisionRecord:
             "replanned": self.replanned,
             "dropped": self.dropped,
             "hit": self.hit,
+            "archetype": self.archetype,
+            "difficulty": self.difficulty,
         }
 
     @classmethod
@@ -187,6 +199,9 @@ class DecisionRecord:
             replanned=bool(data["replanned"]),
             dropped=bool(data["dropped"]),
             hit=bool(data["hit"]),
+            # Absent in pre-worlds traces; the defaults keep old files readable.
+            archetype=str(data.get("archetype", "")),
+            difficulty=float(data.get("difficulty", 0.0)),
         )
 
 
@@ -263,6 +278,18 @@ class MissionRecord:
     def success(self) -> bool:
         """True when the drone reached the goal without colliding."""
         return self.ok and bool(self.metrics.get("success"))
+
+    @property
+    def archetype(self) -> str:
+        """The world archetype the mission flew through.
+
+        Read from the spec's ``world`` entry; specs recorded before the
+        worlds subsystem existed have none and report ``"paper_corridor"``,
+        which is exactly the world they flew.
+        """
+        spec = self.spec or {}
+        world = spec.get("world") or {}
+        return str(world.get("archetype") or "paper_corridor")
 
     def knob(self, name: str) -> Optional[float]:
         """One environment difficulty knob value, or None when unknown."""

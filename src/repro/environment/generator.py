@@ -25,9 +25,14 @@ import itertools
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.environment.world import Obstacle, World
+
+if TYPE_CHECKING:  # pragma: no cover - the worlds package imports us, not vice versa
+    from repro.worlds.field import HeterogeneityField
+    from repro.worlds.movers import DynamicObstacleSet
+    from repro.worlds.spec import WorldSpec
 from repro.environment.zones import ZoneMap
 from repro.geometry.aabb import AABB
 from repro.geometry.vec3 import Vec3
@@ -68,16 +73,60 @@ class EnvironmentConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        for knob in (
+            "obstacle_density",
+            "obstacle_spread",
+            "goal_distance",
+            "corridor_width",
+            "flight_altitude",
+            "obstacle_height",
+        ):
+            value = getattr(self, knob)
+            if not math.isfinite(value):
+                raise ValueError(f"{knob} must be a finite number, got {value!r}")
         if not 0.0 < self.obstacle_density < 1.0:
-            raise ValueError("obstacle density must be in (0, 1)")
+            raise ValueError(
+                f"obstacle density is the peak occupied fraction and must be in "
+                f"(0, 1), got {self.obstacle_density!r}"
+            )
         if self.obstacle_spread <= 0:
-            raise ValueError("obstacle spread must be positive")
+            raise ValueError(
+                f"obstacle spread is a scatter radius in metres and must be "
+                f"positive, got {self.obstacle_spread!r}"
+            )
         if self.goal_distance <= 0:
-            raise ValueError("goal distance must be positive")
+            raise ValueError(
+                f"goal distance is the mission length in metres and must be "
+                f"positive, got {self.goal_distance!r}"
+            )
         if self.corridor_width <= 0:
-            raise ValueError("corridor width must be positive")
+            raise ValueError(
+                f"corridor width must be positive metres, got "
+                f"{self.corridor_width!r} (a non-positive width inverts the "
+                f"corridor: its left edge would sit right of its right edge)"
+            )
+        if self.flight_altitude <= 0:
+            raise ValueError(
+                f"flight altitude must be positive metres above ground, got "
+                f"{self.flight_altitude!r}"
+            )
+        if self.obstacle_height <= 0:
+            raise ValueError(
+                f"obstacle height must be positive metres, got "
+                f"{self.obstacle_height!r}"
+            )
+        if self.flight_altitude >= self.obstacle_height:
+            raise ValueError(
+                f"flight altitude ({self.flight_altitude!r} m) must sit below "
+                f"the obstacle height ({self.obstacle_height!r} m); a corridor "
+                f"whose obstacles all pass under the drone has no congestion "
+                f"to generate"
+            )
         if self.clusters_per_zone < 1:
-            raise ValueError("need at least one cluster per congested zone")
+            raise ValueError(
+                f"need at least one congestion cluster per congested zone, "
+                f"got {self.clusters_per_zone!r}"
+            )
 
     def label(self) -> str:
         """Short human-readable identifier used in experiment tables."""
@@ -96,6 +145,22 @@ class GeneratedEnvironment:
     positions, the congestion ``zone_map`` (zones A and C are the congested
     clusters at the mission's ends, B the open middle) and the cluster
     centres the obstacles were scattered around.
+
+    Environments built through :mod:`repro.worlds` additionally carry the
+    worlds-layer extras (all default to their "plain paper corridor"
+    values, so environments from :meth:`EnvironmentGenerator.generate`
+    remain valid):
+
+    Attributes:
+        archetype: name of the world archetype the environment came from.
+        world_spec: the :class:`~repro.worlds.spec.WorldSpec` it was built
+            from (``None`` for directly generated environments).
+        heterogeneity: the corridor's
+            :class:`~repro.worlds.field.HeterogeneityField` (``None`` when
+            not sampled).
+        dynamics: the environment's
+            :class:`~repro.worlds.movers.DynamicObstacleSet` (``None``
+            when the world is fully static).
     """
 
     config: EnvironmentConfig
@@ -104,10 +169,25 @@ class GeneratedEnvironment:
     goal: Vec3
     zone_map: ZoneMap
     cluster_centers: List[Vec3] = field(default_factory=list)
+    archetype: str = "paper_corridor"
+    world_spec: Optional["WorldSpec"] = None
+    heterogeneity: Optional["HeterogeneityField"] = None
+    dynamics: Optional["DynamicObstacleSet"] = None
 
     def congestion_at(self, position: Vec3, radius: float = 30.0) -> float:
         """Local obstacle density around a position (Figure 9's heat value)."""
         return self.world.obstacle_density(position, radius)
+
+    def difficulty_at(self, position: Vec3) -> float:
+        """Interpolated corridor difficulty in [0, 1] at a position.
+
+        One lerp against the precomputed heterogeneity field — cheap enough
+        for the trace recorder's per-decision path.  Environments without a
+        sampled field report 0.0 rather than paying a live density query.
+        """
+        if self.heterogeneity is None:
+            return 0.0
+        return self.heterogeneity.difficulty_at(position)
 
 
 class EnvironmentGenerator:

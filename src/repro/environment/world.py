@@ -47,6 +47,13 @@ class World:
     nearest-obstacle and collision queries fast even with hundreds of
     obstacles; drones fly well above or below obstacles rarely enough in the
     paper's warehouse scenarios that a 2-D bucketing is an effective filter.
+
+    Besides the hashed static obstacles, the world carries a small *dynamic*
+    obstacle layer (:meth:`set_dynamic_obstacles`): the current boxes of the
+    kinematic movers from :mod:`repro.worlds.movers`.  Movers are replaced
+    wholesale once per decision epoch and number at most a handful, so they
+    are scanned linearly instead of re-hashed — every occupancy, collision,
+    proximity and density query below folds them in.
     """
 
     def __init__(
@@ -61,6 +68,7 @@ class World:
         self._hash_cell = hash_cell
         self._obstacles: List[Obstacle] = []
         self._hash: dict[Tuple[int, int], List[int]] = {}
+        self._dynamic: List[Obstacle] = []
         for obstacle in obstacles or []:
             self.add_obstacle(obstacle)
 
@@ -99,11 +107,28 @@ class World:
         return result
 
     # ------------------------------------------------------------------
+    # Dynamic obstacle layer
+    # ------------------------------------------------------------------
+    def set_dynamic_obstacles(self, obstacles: Iterable[Obstacle]) -> None:
+        """Replace the dynamic obstacle layer (the movers' current boxes).
+
+        Called once per decision epoch by
+        :meth:`repro.worlds.movers.DynamicObstacleSet.step`; the layer is
+        small and scanned linearly, so no re-hashing happens.
+        """
+        self._dynamic = list(obstacles)
+
+    @property
+    def dynamic_obstacles(self) -> Sequence[Obstacle]:
+        """The dynamic obstacle layer at its most recently stepped epoch."""
+        return tuple(self._dynamic)
+
+    # ------------------------------------------------------------------
     # Basic properties
     # ------------------------------------------------------------------
     @property
     def obstacles(self) -> Sequence[Obstacle]:
-        """All obstacles in insertion order."""
+        """All static obstacles in insertion order (movers excluded)."""
         return tuple(self._obstacles)
 
     def obstacles_near(self, point: Vec3, radius: float) -> List[Obstacle]:
@@ -111,12 +136,19 @@ class World:
 
         This is a broad-phase filter (it may return obstacles slightly beyond
         the radius) used by the simulated depth cameras to avoid testing every
-        obstacle in the world against every ray.
+        obstacle in the world against every ray.  Dynamic obstacles within
+        the radius are appended after the static candidates.
         """
-        return [self._obstacles[idx] for idx in self._candidate_indices(point, radius)]
+        result = [self._obstacles[idx] for idx in self._candidate_indices(point, radius)]
+        result.extend(
+            obstacle
+            for obstacle in self._dynamic
+            if obstacle.box.distance_to_point(point) <= radius
+        )
+        return result
 
     def obstacle_count(self) -> int:
-        """Number of obstacles."""
+        """Number of static obstacles."""
         return len(self._obstacles)
 
     # ------------------------------------------------------------------
@@ -130,6 +162,10 @@ class World:
                 if obstacle.box.contains(point):
                     return True
             elif obstacle.box.expanded(margin).contains(point):
+                return True
+        for obstacle in self._dynamic:
+            box = obstacle.box if margin == 0.0 else obstacle.box.expanded(margin)
+            if box.contains(point):
                 return True
         return False
 
@@ -145,6 +181,10 @@ class World:
             box = self._obstacles[idx].box
             if margin > 0.0:
                 box = box.expanded(margin)
+            if segment_intersects_aabb(start, end, box):
+                return True
+        for obstacle in self._dynamic:
+            box = obstacle.box if margin == 0.0 else obstacle.box.expanded(margin)
             if segment_intersects_aabb(start, end, box):
                 return True
         return False
@@ -163,6 +203,10 @@ class World:
             d = self._obstacles[idx].distance_to(point)
             if d < best:
                 best = d
+        for obstacle in self._dynamic:
+            d = obstacle.distance_to(point)
+            if d < best:
+                best = d
         return best
 
     def visibility_along(self, origin: Vec3, direction: Vec3, max_range: float) -> float:
@@ -179,8 +223,13 @@ class World:
         ray = Ray(origin, direction.normalized())
         nearest = max_range
         probe_point = origin + direction.normalized() * (max_range * 0.5)
-        for idx in self._candidate_indices(probe_point, max_range):
-            hit = ray_aabb_intersect(ray, self._obstacles[idx].box)
+        candidates = [
+            self._obstacles[idx].box
+            for idx in self._candidate_indices(probe_point, max_range)
+        ]
+        candidates.extend(obstacle.box for obstacle in self._dynamic)
+        for box in candidates:
+            hit = ray_aabb_intersect(ray, box)
             if hit is None:
                 continue
             t_enter, t_exit = hit

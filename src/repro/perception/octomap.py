@@ -43,8 +43,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.geometry.aabb import AABB
 from repro.geometry.grid import VoxelKey, voxel_center, voxel_key
 from repro.geometry.ray import sample_ray
 from repro.geometry.vec3 import Vec3
@@ -165,6 +166,50 @@ class OccupancyOctree:
         self._add_occupied(key)
         self._free.discard(voxel_key(point, self.free_resolution))
         return key
+
+    def mark_box(self, box: "AABB") -> List[VoxelKey]:
+        """Mark every minimum-resolution voxel overlapping a box as occupied.
+
+        The dynamic-obstacle path: each mover's footprint is stamped into
+        the map once per decision epoch.  Every mark flows through the
+        incremental spatial index, so downstream probes (nearest obstacle,
+        segment occupancy, coarse aggregation) see the box with no rebuild.
+
+        Returns:
+            The voxel keys this call *newly* occupied — hand them back to
+            :meth:`clear_cells` to un-mark the footprint before re-marking
+            it elsewhere.  Voxels that were already occupied (e.g. a static
+            wall the box overlaps, integrated from sensor data) are not
+            returned, so clearing the footprint later cannot erase them.
+        """
+        lo = voxel_key(box.min_corner, self.vox_min)
+        hi = voxel_key(box.max_corner, self.vox_min)
+        keys: List[VoxelKey] = []
+        for i in range(lo[0], hi[0] + 1):
+            for j in range(lo[1], hi[1] + 1):
+                for k in range(lo[2], hi[2] + 1):
+                    key = (i, j, k)
+                    if key in self._occupied:
+                        continue
+                    self._add_occupied(key)
+                    self._free.discard(
+                        voxel_key(voxel_center(key, self.vox_min), self.free_resolution)
+                    )
+                    keys.append(key)
+        return keys
+
+    def clear_cells(self, keys: Iterable[VoxelKey]) -> int:
+        """Un-mark the given voxels (index-maintained); returns the count cleared.
+
+        Voxels that are no longer occupied (e.g. already erased by a
+        measurement ray passing through) are skipped silently.
+        """
+        cleared = 0
+        for key in keys:
+            if key in self._occupied:
+                self._remove_occupied(key)
+                cleared += 1
+        return cleared
 
     def mark_free(self, point: Vec3) -> VoxelKey:
         """Mark the coarse region containing ``point`` as observed-free.

@@ -66,6 +66,7 @@ from repro.simulation.faults import FaultSet
 from repro.simulation.metrics import DecisionTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (mission imports us)
+    from repro.perception.octomap import OccupancyOctree
     from repro.simulation.mission import MissionConfig, Runtime
 
 # Topic names, one per edge of the pipeline graph.
@@ -205,6 +206,14 @@ class SenseNode(Node):
     The node tracks the drone pose by subscribing to the flight results and
     applies the scenario's sensor faults (dropout, degraded resolution) at
     the capture boundary, so the rest of the pipeline sees ordinary messages.
+
+    The sense boundary is also where the environment's dynamic obstacles
+    advance: each tick first steps the
+    :class:`~repro.worlds.movers.DynamicObstacleSet` to the decision epoch —
+    updating the ground-truth world and re-marking the movers' footprints
+    into the occupancy octree through its incremental spatial index — so the
+    capture, the planner and the collision probes of this decision all see
+    the movers at the same position.
     """
 
     def __init__(
@@ -214,12 +223,15 @@ class SenseNode(Node):
         sensors: StateSensorSuite,
         environment: GeneratedEnvironment,
         faults: Optional[FaultSet] = None,
+        octree: Optional["OccupancyOctree"] = None,
     ) -> None:
         super().__init__("sense", executor)
         self.rig = rig
         self.sensors = sensors
         self.environment = environment
         self.faults = faults or FaultSet()
+        self.dynamics = getattr(environment, "dynamics", None)
+        self._octree = octree
         self.dropped_decisions: List[int] = []
         self._position = environment.start
         self._velocity = Vec3.zero()
@@ -242,6 +254,8 @@ class SenseNode(Node):
 
     def tick(self, decision_index: int) -> None:
         """Capture one decision's sensor data and start the cascade."""
+        if self.dynamics is not None:
+            self.dynamics.step(decision_index, octree=self._octree)
         rig = self._active_rig(decision_index)
         dropout = self.faults.sensor_dropout
         dropped = dropout is not None and dropout.drops(decision_index)
@@ -799,7 +813,9 @@ class DecisionPipeline:
         self.cpu = CpuUtilizationTracker(sensor_period_s=config.sensor_period_s)
         self.traces: List[DecisionTrace] = []
 
-        self.sense = SenseNode(self.executor, rig, sensors, environment, faults)
+        self.sense = SenseNode(
+            self.executor, rig, sensors, environment, faults, octree=operators.octree
+        )
         self.profile = ProfileNode(
             self.executor,
             profilers,

@@ -20,9 +20,10 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
-from repro.environment.generator import EnvironmentConfig, EnvironmentGenerator
+from repro.environment.generator import EnvironmentConfig
 from repro.simulation.faults import FaultSet
 from repro.simulation.mission import MissionConfig, MissionResult, MissionSimulator
+from repro.worlds import WorldSpec, archetype_names, build_environment, is_registered
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.recorder import TraceRecorder
@@ -49,6 +50,8 @@ class ScenarioSpec:
         environment: difficulty knobs for the generated world.
         mission: the decision-loop configuration.
         faults: sensor faults injected at the pipeline's sense boundary.
+        world: which procedural world archetype to fly through (defaults to
+            the paper corridor, so pre-worlds specs behave identically).
     """
 
     name: str
@@ -56,6 +59,7 @@ class ScenarioSpec:
     environment: EnvironmentConfig = field(default_factory=EnvironmentConfig)
     mission: MissionConfig = field(default_factory=MissionConfig)
     faults: FaultSet = field(default_factory=FaultSet)
+    world: WorldSpec = field(default_factory=WorldSpec)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -63,6 +67,11 @@ class ScenarioSpec:
         if self.design not in DESIGNS:
             raise ValueError(
                 f"unknown design {self.design!r}; expected one of {DESIGNS}"
+            )
+        if not is_registered(self.world.archetype):
+            raise ValueError(
+                f"unknown world archetype {self.world.archetype!r}; "
+                f"registered: {archetype_names()}"
             )
 
     # ------------------------------------------------------------------
@@ -85,8 +94,14 @@ class ScenarioSpec:
     # Execution
     # ------------------------------------------------------------------
     def build_simulator(self) -> MissionSimulator:
-        """Generate the world and wire a simulator for this scenario."""
-        environment = EnvironmentGenerator().generate(self.environment)
+        """Generate the world and wire a simulator for this scenario.
+
+        The environment is built through the worlds registry: for the
+        default :class:`~repro.worlds.spec.WorldSpec` this is the paper
+        corridor with a bit-identical obstacle list to the pre-worlds
+        generator, plus the heterogeneity field the trace recorder samples.
+        """
+        environment = build_environment(self.environment, self.world)
         return MissionSimulator(
             environment,
             _build_runtime(self.design),
@@ -118,6 +133,7 @@ class ScenarioSpec:
             "environment": dataclasses.asdict(self.environment),
             "mission": dataclasses.asdict(self.mission),
             "faults": self.faults.to_dict(),
+            "world": self.world.to_dict(),
         }
 
     @classmethod
@@ -132,6 +148,9 @@ class ScenarioSpec:
             environment=EnvironmentConfig(**data.get("environment", {})),
             mission=MissionConfig(**mission_data),
             faults=FaultSet.from_dict(data.get("faults")),
+            # Pre-worlds spec dictionaries have no "world" key; they get the
+            # default paper corridor, exactly what they meant.
+            world=WorldSpec.from_dict(data.get("world")),
         )
 
     def to_json(self) -> str:
@@ -143,44 +162,88 @@ class ScenarioSpec:
         return cls.from_dict(json.loads(payload))
 
 
+def _coerce_world(value: Any) -> WorldSpec:
+    """Accept a WorldSpec, an archetype name or a spec dictionary."""
+    if isinstance(value, WorldSpec):
+        return value
+    if isinstance(value, str):
+        return WorldSpec(archetype=value)
+    if isinstance(value, dict):
+        return WorldSpec.from_dict(value)
+    raise TypeError(
+        f"world entries must be WorldSpec, archetype name or dict, got {value!r}"
+    )
+
+
 def scenario_grid(
     name_prefix: str,
     designs: Sequence[str] = DESIGNS,
     densities: Sequence[float] = (),
     spreads: Sequence[float] = (),
     goal_distances: Sequence[float] = (),
+    worlds: Sequence[Any] = (),
     base_environment: Optional[EnvironmentConfig] = None,
     mission: Optional[MissionConfig] = None,
     faults: Optional[FaultSet] = None,
     base_seed: int = 0,
 ) -> List[ScenarioSpec]:
-    """Build the cartesian sweep of designs × environment knob values.
+    """Build the cartesian sweep of designs × worlds × environment knob values.
 
     Empty knob lists fall back to the base environment's value, so a caller
     can sweep any subset of the three paper knobs (density, spread, goal
-    distance).  Every spec receives a distinct, deterministic seed
-    (``base_seed + index``), so the grid is reproducible mission by mission.
+    distance).  ``worlds`` adds the archetype axis: each entry is a
+    :class:`~repro.worlds.spec.WorldSpec`, an archetype name or a spec
+    dictionary; an empty list means the default paper corridor, and spec
+    names then stay identical to the pre-worlds grid.  Every spec receives
+    a distinct, deterministic seed (``base_seed + index``), so the grid is
+    reproducible mission by mission.
     """
     base_env = base_environment or EnvironmentConfig()
     density_values = tuple(densities) or (base_env.obstacle_density,)
     spread_values = tuple(spreads) or (base_env.obstacle_spread,)
     goal_values = tuple(goal_distances) or (base_env.goal_distance,)
+    world_values = tuple(_coerce_world(w) for w in worlds) or (WorldSpec(),)
+    # Archetype names appear in spec names only when worlds are swept, so
+    # the default grid's names (and trace-file names) are unchanged.  When
+    # the same archetype appears more than once (different params/seeds/
+    # movers), an ordinal keeps the names — and therefore the per-spec
+    # trace files — distinct.
+    name_worlds = bool(worlds)
+    archetype_counts: Dict[str, int] = {}
+    for world in world_values:
+        archetype_counts[world.archetype] = archetype_counts.get(world.archetype, 0) + 1
+    tagged_worlds: List[tuple] = []
+    seen: Dict[str, int] = {}
+    for world in world_values:
+        if archetype_counts[world.archetype] > 1:
+            ordinal = seen.get(world.archetype, 0)
+            seen[world.archetype] = ordinal + 1
+            tagged_worlds.append((world, f"{world.archetype}{ordinal}"))
+        else:
+            tagged_worlds.append((world, world.archetype))
 
     specs: List[ScenarioSpec] = []
-    combos = itertools.product(designs, density_values, spread_values, goal_values)
-    for index, (design, density, spread, goal) in enumerate(combos):
+    combos = itertools.product(
+        designs, tagged_worlds, density_values, spread_values, goal_values
+    )
+    for index, (design, (world, tag), density, spread, goal) in enumerate(combos):
         environment = replace(
             base_env,
             obstacle_density=density,
             obstacle_spread=spread,
             goal_distance=goal,
         )
+        world_tag = f"_{tag}" if name_worlds else ""
         spec = ScenarioSpec(
-            name=f"{name_prefix}_{design}_den{density:g}_spr{spread:g}_goal{goal:g}",
+            name=(
+                f"{name_prefix}_{design}{world_tag}"
+                f"_den{density:g}_spr{spread:g}_goal{goal:g}"
+            ),
             design=design,
             environment=environment,
             mission=mission or MissionConfig(),
             faults=faults or FaultSet(),
+            world=world,
         ).seeded(base_seed + index)
         specs.append(spec)
     return specs

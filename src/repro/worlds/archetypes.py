@@ -1,0 +1,367 @@
+"""The built-in world archetypes.
+
+Five procedural generators, each a different *shape* of spatial
+heterogeneity for the governor to exploit (or be defeated by):
+
+==================  ====================================================
+``paper_corridor``  The paper's §IV generator verbatim — congested
+                    clusters at both mission ends, empty middle.  Golden:
+                    bit-identical to
+                    :class:`~repro.environment.generator.
+                    EnvironmentGenerator` for the same config and seed.
+``urban_canyon``    Parallel building rows flanking the corridor, broken
+                    by cross-streets; heterogeneity alternates with the
+                    street rhythm.
+``forest``          Uniform thin-pillar scatter — low spatial variance,
+                    the archetype a spatial-aware governor gains *least*
+                    on.
+``warehouse``       A rack-and-aisle grid with pallet choke points in the
+                    cross-aisles — narrow-gap heterogeneity.
+``disaster_rubble`` Clustered debris whose density ramps up along the
+                    corridor — monotone difficulty gradient.
+==================  ====================================================
+
+All generators share the corridor frame of the paper generator (start at
+the origin, goal ``goal_distance`` metres down +x, flight at
+``flight_altitude``), honour its 12 m obstacle-free bubble around start and
+goal, and interpret the three shared difficulty knobs
+(``obstacle_density``, ``obstacle_spread``, ``goal_distance``) where they
+are meaningful; archetype-specific knobs arrive via
+:attr:`~repro.worlds.spec.WorldSpec.params` and are documented, with
+units, in ``docs/worlds.md``.
+
+Every generator is a pure function of ``(config, spec, rng)``: the
+determinism suite asserts byte-identical obstacle lists and difficulty
+fields for equal seeds, including across multiprocessing campaign workers.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, List, Tuple
+
+from repro.environment.generator import (
+    EnvironmentConfig,
+    EnvironmentGenerator,
+    GeneratedEnvironment,
+)
+from repro.environment.world import Obstacle, World
+from repro.environment.zones import Zone, ZoneMap
+from repro.geometry.aabb import AABB
+from repro.geometry.vec3 import Vec3
+from repro.worlds.registry import register_archetype
+from repro.worlds.spec import WorldSpec
+
+#: Radius around the mission start and goal that stays obstacle-free
+#: (matches the paper generator's keep-clear bubble).
+KEEP_CLEAR_M = 12.0
+
+
+# ----------------------------------------------------------------------
+# Shared corridor frame
+# ----------------------------------------------------------------------
+def _corridor_frame(cfg: EnvironmentConfig) -> Tuple[Vec3, Vec3, World]:
+    """Start, goal and an empty bounded world in the paper's corridor frame."""
+    start = Vec3(0.0, 0.0, cfg.flight_altitude)
+    goal = Vec3(cfg.goal_distance, 0.0, cfg.flight_altitude)
+    half_width = cfg.corridor_width / 2.0
+    bounds = AABB(
+        Vec3(-50.0, -half_width - 50.0, 0.0),
+        Vec3(cfg.goal_distance + 50.0, half_width + 50.0, 60.0),
+    )
+    return start, goal, World(bounds)
+
+
+def _admissible(world: World, start: Vec3, goal: Vec3, box: AABB) -> bool:
+    """True when an obstacle box may enter the world (in bounds, ends clear)."""
+    center = box.center
+    if not world.bounds.contains(center):
+        return False
+    if center.horizontal_distance_to(start) < KEEP_CLEAR_M:
+        return False
+    if center.horizontal_distance_to(goal) < KEEP_CLEAR_M:
+        return False
+    return True
+
+
+def _add_boxes(
+    world: World, start: Vec3, goal: Vec3, boxes: Iterable[Tuple[AABB, str]]
+) -> None:
+    """Add every admissible box to the world, preserving iteration order."""
+    for box, name in boxes:
+        if _admissible(world, start, goal, box):
+            world.add_obstacle(Obstacle(box, name=name))
+
+
+# ----------------------------------------------------------------------
+# paper_corridor — the golden-pinned §IV generator
+# ----------------------------------------------------------------------
+@register_archetype("paper_corridor")
+def paper_corridor(
+    cfg: EnvironmentConfig, spec: WorldSpec, rng: random.Random
+) -> GeneratedEnvironment:
+    """The paper's congested-A / empty-B / congested-C corridor, verbatim.
+
+    Delegates to :class:`~repro.environment.generator.EnvironmentGenerator`
+    so the obstacle list is bit-identical to the pre-worlds generator for
+    the same config and seed (the golden test pins this).  The ``rng``
+    argument is unused: the legacy generator seeds its own RNG from the
+    config, and re-deriving it here would change the stream.
+    """
+    return EnvironmentGenerator().generate(cfg)
+
+
+# ----------------------------------------------------------------------
+# urban_canyon — building rows with cross-streets
+# ----------------------------------------------------------------------
+@register_archetype("urban_canyon")
+def urban_canyon(
+    cfg: EnvironmentConfig, spec: WorldSpec, rng: random.Random
+) -> GeneratedEnvironment:
+    """Parallel building rows along the corridor, broken by cross-streets.
+
+    Knobs (``spec.params``): ``rows_per_side`` (count, default 2),
+    ``block_length_m`` (mean building length, default 28),
+    ``street_width_m`` (cross-street gap, default 14),
+    ``building_depth_m`` (row depth, default 10).  ``obstacle_density``
+    sets the probability each block is actually built, so sparse canyons
+    have gap-toothed skylines.
+    """
+    start, goal, world = _corridor_frame(cfg)
+    rows_per_side = max(1, int(spec.param("rows_per_side", 2)))
+    block_length = spec.param("block_length_m", 28.0)
+    street_width = spec.param("street_width_m", 14.0)
+    depth = spec.param("building_depth_m", 10.0)
+    if block_length <= 0 or street_width <= 0 or depth <= 0:
+        raise ValueError("urban_canyon lengths must be positive metres")
+    build_probability = min(1.0, cfg.obstacle_density + 0.35)
+
+    half_width = cfg.corridor_width / 2.0
+    # Row centre-lines, nearest first, mirrored across the corridor axis.
+    lateral_offsets: List[float] = []
+    for row in range(1, rows_per_side + 1):
+        offset = half_width * row / (rows_per_side + 0.5)
+        lateral_offsets.extend((offset, -offset))
+
+    boxes: List[Tuple[AABB, str]] = []
+    for row_index, offset in enumerate(lateral_offsets):
+        x = 0.0
+        block_index = 0
+        while x < cfg.goal_distance:
+            length = block_length * rng.uniform(0.7, 1.3)
+            if rng.random() < build_probability:
+                height = cfg.obstacle_height * rng.uniform(1.0, 1.6)
+                center = Vec3(x + length / 2.0, offset, height / 2.0)
+                boxes.append(
+                    (
+                        AABB.from_center(center, Vec3(length, depth, height)),
+                        f"building_r{row_index}_b{block_index}",
+                    )
+                )
+            x += length + street_width
+            block_index += 1
+    _add_boxes(world, start, goal, boxes)
+
+    zone_map = ZoneMap(start, goal, zones=[Zone("CANYON", 0.0, 1.0, congested=True)])
+    return GeneratedEnvironment(
+        config=cfg, world=world, start=start, goal=goal, zone_map=zone_map
+    )
+
+
+# ----------------------------------------------------------------------
+# forest — uniform thin-pillar scatter
+# ----------------------------------------------------------------------
+@register_archetype("forest")
+def forest(
+    cfg: EnvironmentConfig, spec: WorldSpec, rng: random.Random
+) -> GeneratedEnvironment:
+    """Thin pillars scattered uniformly over the whole corridor.
+
+    Knobs: ``cover_scale`` (dimensionless, default 0.05) — the pillar
+    footprint covers ``obstacle_density * cover_scale`` of the corridor
+    area, keeping pure-Python worlds tractable while preserving the
+    density ordering; ``pillar_side_m`` (mean pillar edge, default 0.9).
+    ``obstacle_spread`` is meaningless for a uniform scatter and ignored.
+    """
+    start, goal, world = _corridor_frame(cfg)
+    cover_scale = spec.param("cover_scale", 0.05)
+    pillar_side = spec.param("pillar_side_m", 0.9)
+    if cover_scale <= 0 or pillar_side <= 0:
+        raise ValueError("forest cover_scale and pillar_side_m must be positive")
+
+    half_width = cfg.corridor_width / 2.0
+    area = cfg.goal_distance * cfg.corridor_width
+    mean_footprint = pillar_side**2
+    count = max(4, int(cfg.obstacle_density * cover_scale * area / mean_footprint))
+
+    boxes: List[Tuple[AABB, str]] = []
+    for index in range(count):
+        x = rng.uniform(0.0, cfg.goal_distance)
+        y = rng.uniform(-half_width, half_width)
+        side = pillar_side * rng.uniform(0.6, 1.4)
+        height = cfg.obstacle_height * rng.uniform(0.9, 1.3)
+        center = Vec3(x, y, height / 2.0)
+        boxes.append(
+            (AABB.from_center(center, Vec3(side, side, height)), f"pillar_{index}")
+        )
+    _add_boxes(world, start, goal, boxes)
+
+    zone_map = ZoneMap(start, goal, zones=[Zone("FOREST", 0.0, 1.0, congested=True)])
+    return GeneratedEnvironment(
+        config=cfg, world=world, start=start, goal=goal, zone_map=zone_map
+    )
+
+
+# ----------------------------------------------------------------------
+# warehouse — rack rows, cross-aisles, choke points
+# ----------------------------------------------------------------------
+@register_archetype("warehouse")
+def warehouse(
+    cfg: EnvironmentConfig, spec: WorldSpec, rng: random.Random
+) -> GeneratedEnvironment:
+    """A rack-and-aisle grid with pallet choke points.
+
+    Knobs: ``aisle_width_m`` (gap between rack rows, default 8),
+    ``rack_length_m`` (rack segment length, default 20),
+    ``rack_depth_m`` (rack depth, default 2.5), ``cross_aisle_m``
+    (cross-aisle gap between segments, default 6).  ``obstacle_density``
+    sets the probability a cross-aisle is choked by a pallet, so dense
+    warehouses have fewer open shortcuts.
+    """
+    start, goal, world = _corridor_frame(cfg)
+    aisle_width = spec.param("aisle_width_m", 8.0)
+    rack_length = spec.param("rack_length_m", 20.0)
+    rack_depth = spec.param("rack_depth_m", 2.5)
+    cross_aisle = spec.param("cross_aisle_m", 6.0)
+    if min(aisle_width, rack_length, rack_depth, cross_aisle) <= 0:
+        raise ValueError("warehouse dimensions must be positive metres")
+    choke_probability = min(0.9, cfg.obstacle_density)
+
+    half_width = cfg.corridor_width / 2.0
+    pitch = rack_depth + aisle_width
+    period = rack_length + cross_aisle
+
+    boxes: List[Tuple[AABB, str]] = []
+    row_index = 0
+    y = -half_width + aisle_width
+    while y <= half_width - aisle_width / 2.0:
+        # Staggering alternate rows turns straight cross-corridors into the
+        # offset choke structure real warehouses have.
+        phase = (period / 2.0) if row_index % 2 else 0.0
+        x = phase
+        segment = 0
+        while x < cfg.goal_distance:
+            length = min(rack_length, cfg.goal_distance - x)
+            if length > 1.0:
+                center = Vec3(x + length / 2.0, y, cfg.obstacle_height / 2.0)
+                boxes.append(
+                    (
+                        AABB.from_center(
+                            center, Vec3(length, rack_depth, cfg.obstacle_height)
+                        ),
+                        f"rack_r{row_index}_s{segment}",
+                    )
+                )
+            gap_center_x = x + rack_length + cross_aisle / 2.0
+            if gap_center_x < cfg.goal_distance and rng.random() < choke_probability:
+                pallet = Vec3(
+                    gap_center_x + rng.uniform(-1.0, 1.0),
+                    y + rng.uniform(-rack_depth, rack_depth),
+                    cfg.obstacle_height / 4.0,
+                )
+                boxes.append(
+                    (
+                        AABB.from_center(
+                            pallet, Vec3(2.0, 2.0, cfg.obstacle_height / 2.0)
+                        ),
+                        f"pallet_r{row_index}_s{segment}",
+                    )
+                )
+            x += period
+            segment += 1
+        y += pitch
+        row_index += 1
+    _add_boxes(world, start, goal, boxes)
+
+    zone_map = ZoneMap(start, goal, zones=[Zone("AISLES", 0.0, 1.0, congested=True)])
+    return GeneratedEnvironment(
+        config=cfg, world=world, start=start, goal=goal, zone_map=zone_map
+    )
+
+
+# ----------------------------------------------------------------------
+# disaster_rubble — clustered debris with a density gradient
+# ----------------------------------------------------------------------
+@register_archetype("disaster_rubble")
+def disaster_rubble(
+    cfg: EnvironmentConfig, spec: WorldSpec, rng: random.Random
+) -> GeneratedEnvironment:
+    """Debris clusters whose density ramps up along the corridor.
+
+    Knobs: ``clusters`` (count, default 6), ``gradient`` (dimensionless,
+    default 1.5) — a cluster at mission fraction ``f`` spawns
+    ``1 + gradient * f`` times the debris of one at the start, producing
+    the monotone difficulty ramp; ``debris_height_scale`` (fraction of
+    ``obstacle_height``, default 0.6) keeps rubble lower than buildings.
+    ``obstacle_spread`` sets the per-cluster scatter radius exactly as in
+    the paper generator.
+    """
+    start, goal, world = _corridor_frame(cfg)
+    cluster_count = max(1, int(spec.param("clusters", 6)))
+    gradient = spec.param("gradient", 1.5)
+    height_scale = spec.param("debris_height_scale", 0.6)
+    if gradient < 0:
+        raise ValueError("disaster_rubble gradient cannot be negative")
+    if height_scale <= 0:
+        raise ValueError("disaster_rubble debris_height_scale must be positive")
+
+    sigma = cfg.obstacle_spread / 2.0
+    half_width = cfg.corridor_width / 2.0
+    # Base count per cluster mirrors the paper generator's sizing but with
+    # the smaller debris footprint (mean ~4 m²).
+    mean_footprint = 4.0
+    base_count = max(
+        3, int(cfg.obstacle_density * math.pi * sigma**2 / mean_footprint / 2.0)
+    )
+
+    centers: List[Vec3] = []
+    boxes: List[Tuple[AABB, str]] = []
+    for cluster in range(cluster_count):
+        fraction = (cluster + 0.5) / cluster_count
+        lateral = rng.uniform(-half_width / 2.0, half_width / 2.0)
+        center = start.lerp(goal, fraction) + Vec3(0.0, lateral, 0.0)
+        centers.append(center)
+        count = max(1, int(base_count * (1.0 + gradient * fraction)))
+        for index in range(count):
+            dx = rng.gauss(0.0, sigma)
+            dy = rng.gauss(0.0, sigma)
+            width = rng.uniform(1.0, 4.0)
+            depth = rng.uniform(1.0, 4.0)
+            height = cfg.obstacle_height * height_scale * rng.uniform(0.4, 1.0)
+            position = Vec3(center.x + dx, center.y + dy, height / 2.0)
+            boxes.append(
+                (
+                    AABB.from_center(position, Vec3(width, depth, height)),
+                    f"debris_c{cluster}_{index}",
+                )
+            )
+    _add_boxes(world, start, goal, boxes)
+
+    zone_map = ZoneMap(
+        start,
+        goal,
+        zones=[
+            Zone("LIGHT", 0.0, 0.34, congested=False),
+            Zone("MID", 0.34, 0.67, congested=True),
+            Zone("DENSE", 0.67, 1.0, congested=True),
+        ],
+    )
+    return GeneratedEnvironment(
+        config=cfg,
+        world=world,
+        start=start,
+        goal=goal,
+        zone_map=zone_map,
+        cluster_centers=centers,
+    )

@@ -13,6 +13,7 @@ from repro import (
 )
 from repro.analysis import CampaignReport, FigureTable
 from repro.analysis.figures import (
+    archetype_comparison,
     fig2_latency_deadline,
     fig2a_model_table,
     fig5_governor_response,
@@ -62,7 +63,8 @@ def make_decision(design="roborun", index=0, speed=1.0, visibility=10.0,
     )
 
 
-def make_mission(design="roborun", name="m", density=0.3, time_s=100.0, error=None):
+def make_mission(design="roborun", name="m", density=0.3, time_s=100.0, error=None,
+                 archetype=None):
     return MissionRecord(
         spec_name=name,
         design=design,
@@ -78,6 +80,7 @@ def make_mission(design="roborun", name="m", density=0.3, time_s=100.0, error=No
             "decision_count": 10.0,
         },
         error=error,
+        spec={"world": {"archetype": archetype}} if archetype else None,
     )
 
 
@@ -178,6 +181,61 @@ class TestTraceAggregators:
         fig5 = fig5_model_table()
         static = [row[1] for row in fig5.rows]
         assert len(set(static)) == 1  # static latency is flat by construction
+
+
+class TestArchetypeComparison:
+    def test_rows_group_by_archetype_with_speedups(self):
+        missions = [
+            make_mission(design="spatial_oblivious", name="b1", time_s=200.0,
+                         archetype="forest"),
+            make_mission(design="roborun", name="r1", time_s=100.0,
+                         archetype="forest"),
+            make_mission(design="spatial_oblivious", name="b2", time_s=300.0,
+                         archetype="warehouse"),
+            make_mission(design="roborun", name="r2", time_s=100.0,
+                         archetype="warehouse"),
+        ]
+        table = archetype_comparison(missions)
+        assert table.key == "archetypes"
+        assert [row[0] for row in table.rows] == ["forest", "warehouse"]
+        assert table.meta["speedups"]["forest"] == pytest.approx(2.0)
+        assert table.meta["speedups"]["warehouse"] == pytest.approx(3.0)
+        # Baseline columns come first (design_order), then roborun.
+        assert table.columns[1].startswith("spatial_oblivious")
+        assert table.rows[0][-1] == 2.0
+
+    def test_missing_pair_reports_na(self):
+        missions = [make_mission(design="roborun", name="r", archetype="forest")]
+        table = archetype_comparison(missions)
+        assert table.rows[0][-1] == "n/a"
+        assert table.meta["speedups"]["forest"] is None
+
+    def test_pre_worlds_records_count_as_paper_corridor(self):
+        missions = [
+            make_mission(design="roborun", name="old"),  # no spec at all
+            make_mission(design="spatial_oblivious", name="old_b"),
+        ]
+        table = archetype_comparison(missions)
+        assert [row[0] for row in table.rows] == ["paper_corridor"]
+        assert missions[0].archetype == "paper_corridor"
+
+    def test_errored_missions_excluded(self):
+        missions = [
+            make_mission(design="roborun", name="ok", archetype="forest"),
+            make_mission(design="roborun", name="bad", archetype="forest",
+                         error={"type": "RuntimeError", "message": "boom"}),
+        ]
+        table = archetype_comparison(missions)
+        assert table.columns[1] == "roborun_missions"
+        assert table.rows[0][1] == 1  # only "ok" counted
+
+    def test_report_includes_archetype_table(self):
+        report = CampaignReport(
+            decisions=[],
+            missions=[make_mission(design="roborun", name="r", archetype="forest")],
+        )
+        assert report.archetypes().rows
+        assert "Per-archetype comparison" in report.to_markdown()
 
 
 class TestCampaignErrorRecords:
@@ -314,8 +372,10 @@ class TestReportCli:
         content = out.read_text()
         assert content.strip()
         assert "stale_spec" not in content
-        for anchor in ("Figure 2", "Figure 5", "Figure 7", "Figure 8"):
+        for anchor in ("Figure 2", "Figure 5", "Figure 7", "Figure 8",
+                       "Per-archetype comparison"):
             assert anchor in content
+        assert "paper_corridor" in content
         assert (tmp_path / "csv" / "fig7.csv").exists()
         # Re-reporting from the saved traces alone reproduces the report.
         out2 = tmp_path / "report2.md"

@@ -133,6 +133,31 @@ class TestRoundTrip:
         assert clear_traces(tmp_path / "missing") == 0
 
 
+class TestPreWorldsCompat:
+    def test_pre_worlds_decision_line_still_parses(self, traced_mission):
+        """A trace line without the worlds fields (schema as of PR 3) reads
+        back with the documented defaults — old saved traces stay loadable."""
+        import json
+
+        record = traced_mission["recorder"].records[0]
+        data = json.loads(record_to_line(record))
+        assert data["archetype"] == "paper_corridor"
+        del data["archetype"]
+        del data["difficulty"]
+        old = DecisionRecord.from_dict(data)
+        assert old.archetype == ""
+        assert old.difficulty == 0.0
+        assert old.index == record.index
+        assert old.stage_latencies == record.stage_latencies
+
+    def test_worlds_context_recorded_per_decision(self, traced_mission):
+        for record in traced_mission["recorder"].records:
+            assert record.archetype == "paper_corridor"
+            assert 0.0 <= record.difficulty <= 1.0
+        mission = traced_mission["recorder"].mission_record
+        assert mission.archetype == "paper_corridor"
+
+
 class TestCampaignTraceDeterminism:
     def test_serial_and_parallel_traces_byte_identical(self, tmp_path):
         specs = [
@@ -150,6 +175,42 @@ class TestCampaignTraceDeterminism:
             parallel_bytes = trace_path(parallel_dir, spec.name).read_bytes()
             assert serial_bytes, f"empty trace for {spec.name}"
             assert serial_bytes == parallel_bytes
+
+    def test_mixed_archetype_campaign_traces_byte_identical(self, tmp_path):
+        """Worlds determinism across process boundaries: a grid sweeping two
+        archetypes (one with a dynamic obstacle) streams byte-identical
+        traces from serial and multiprocessing workers."""
+        from repro import MoverSpec, WorldSpec, scenario_grid
+
+        crosser = MoverSpec(
+            kind="crosser", origin=(30.0, -20.0, 2.0), velocity=(0.0, 2.0, 0.0),
+            span_m=40.0,
+        )
+        specs = scenario_grid(
+            "mix",
+            designs=("roborun",),
+            worlds=(WorldSpec(archetype="forest"),
+                    WorldSpec(archetype="warehouse", movers=(crosser,))),
+            base_environment=TINY_ENV,
+            mission=dataclasses.replace(TINY_CFG, max_decisions=8),
+            base_seed=21,
+        )
+        assert len(specs) == 2
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        CampaignRunner(max_workers=1).run(specs, trace_dir=serial_dir)
+        CampaignRunner(max_workers=2).run(specs, trace_dir=parallel_dir)
+        for spec in specs:
+            serial_bytes = trace_path(serial_dir, spec.name).read_bytes()
+            assert serial_bytes, f"empty trace for {spec.name}"
+            assert serial_bytes == trace_path(parallel_dir, spec.name).read_bytes()
+        # The traces carry the archetype context they were flown in.
+        report = CampaignReport.from_trace_dir(serial_dir)
+        assert sorted({d.archetype for d in report.decisions}) == [
+            "forest", "warehouse",
+        ]
+        assert {m.archetype for m in report.missions} == {"forest", "warehouse"}
+        assert any(d.difficulty > 0.0 for d in report.decisions)
 
     def test_campaign_trace_aggregates_match_outcomes(self, tmp_path):
         specs = [

@@ -116,6 +116,33 @@ class TestGenerator:
         with pytest.raises(ValueError):
             EnvironmentConfig(goal_distance=0.0)
 
+    def test_config_rejects_nonsense_knobs_with_clear_messages(self):
+        with pytest.raises(ValueError, match="peak occupied fraction"):
+            EnvironmentConfig(obstacle_density=-0.3)
+        with pytest.raises(ValueError, match="in \\(0, 1\\)"):
+            EnvironmentConfig(obstacle_density=1.5)
+        with pytest.raises(ValueError, match="scatter radius"):
+            EnvironmentConfig(obstacle_spread=0.0)
+        with pytest.raises(ValueError, match="mission length"):
+            EnvironmentConfig(goal_distance=-600.0)
+        with pytest.raises(ValueError, match="inverts the corridor"):
+            EnvironmentConfig(corridor_width=-150.0)
+        with pytest.raises(ValueError, match="flight altitude"):
+            EnvironmentConfig(flight_altitude=0.0)
+        with pytest.raises(ValueError, match="obstacle height"):
+            EnvironmentConfig(obstacle_height=-20.0)
+        # A flight plane above every obstacle generates no congestion at all.
+        with pytest.raises(ValueError, match="below"):
+            EnvironmentConfig(flight_altitude=25.0, obstacle_height=20.0)
+        with pytest.raises(ValueError, match="at least one congestion cluster"):
+            EnvironmentConfig(clusters_per_zone=0)
+        for knob in ("obstacle_density", "obstacle_spread", "goal_distance",
+                     "corridor_width", "flight_altitude", "obstacle_height"):
+            with pytest.raises(ValueError, match="finite"):
+                EnvironmentConfig(**{knob: float("nan")})
+            with pytest.raises(ValueError):
+                EnvironmentConfig(**{knob: float("inf")})
+
     def test_generation_is_deterministic(self):
         cfg = EnvironmentConfig(goal_distance=200.0, seed=7)
         a = EnvironmentGenerator().generate(cfg)

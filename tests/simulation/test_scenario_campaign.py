@@ -11,6 +11,7 @@ from repro import (
     MissionConfig,
     ScenarioSpec,
     SensorDropout,
+    WorldSpec,
     scenario_grid,
 )
 from repro.simulation.campaign import _run_payload
@@ -89,6 +90,46 @@ class TestScenarioGrid:
                               mission=TINY_CFG)
         assert len(specs) == 1
         assert specs[0].environment.obstacle_density == TINY_ENV.obstacle_density
+        # No worlds axis: the default world and the pre-worlds names.
+        assert specs[0].world == WorldSpec()
+        assert "paper_corridor" not in specs[0].name
+
+    def test_grid_sweeps_world_archetypes(self):
+        specs = scenario_grid(
+            "g",
+            designs=("roborun",),
+            worlds=("paper_corridor", "forest", WorldSpec(archetype="warehouse")),
+            densities=(0.3, 0.5),
+            base_environment=TINY_ENV,
+            mission=TINY_CFG,
+            base_seed=5,
+        )
+        assert len(specs) == 3 * 2  # worlds x densities
+        assert len({spec.name for spec in specs}) == len(specs)
+        assert [spec.seed for spec in specs] == list(range(5, 11))
+        archetypes = [spec.world.archetype for spec in specs]
+        assert archetypes == ["paper_corridor"] * 2 + ["forest"] * 2 + ["warehouse"] * 2
+        # Archetype names land in the spec names when worlds are swept.
+        assert all(spec.world.archetype in spec.name for spec in specs)
+        # Grid dictionaries round-trip through JSON (the campaign pool path).
+        for spec in specs:
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_repeated_archetype_variants_get_distinct_names(self):
+        specs = scenario_grid(
+            "g",
+            designs=("roborun",),
+            worlds=(WorldSpec(archetype="forest"),
+                    WorldSpec(archetype="forest", params={"cover_scale": 0.2})),
+            base_environment=TINY_ENV,
+            mission=TINY_CFG,
+        )
+        assert len({spec.name for spec in specs}) == 2
+        assert specs[0].world != specs[1].world
+
+    def test_unknown_archetype_rejected_at_spec_construction(self):
+        with pytest.raises(ValueError, match="archetype"):
+            ScenarioSpec(name="x", world=WorldSpec(archetype="volcano"))
 
 
 class TestCampaignRunner:
