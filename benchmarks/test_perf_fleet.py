@@ -1,0 +1,80 @@
+"""Fleet throughput benchmark: decisions/sec as the fleet grows.
+
+Flies the benchmark environment (seed 11) as a fleet of 1, 2 and 4 drones on
+one shared world, bus and executor, and measures whole-fleet decision
+throughput.  Peer drones cost real work — every drone's scan, octomap
+re-mark and collision probes see its peers as dynamic obstacles — so
+throughput per drone degrades gracefully rather than staying flat; the
+emitted ``BENCH_fleet.json`` records the curve so regressions in the fleet
+hot path (peer folding, octree re-marking, namespace dispatch) show up as a
+drop in decisions/sec.
+
+Run with ``-s`` to see the scaling table.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+from conftest import BENCH_ENV, print_table
+
+from repro import FleetSimulator, MissionConfig, build_environment
+from repro.core.runtime import RoboRunRuntime
+from repro.worlds import WorldSpec
+
+FLEET_SIZES = (1, 2, 4)
+
+# Trimmed mission: enough decisions for stable timing, small enough that the
+# three fleet runs stay within the suite's minutes-of-pure-Python budget.
+FLEET_MISSION = MissionConfig(max_decisions=120, max_mission_time_s=400.0)
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
+
+
+@pytest.mark.slow
+def test_fleet_throughput_scaling():
+    rows = [["n_drones", "decisions", "wall_s", "decisions_per_s"]]
+    results = {}
+    for n in FLEET_SIZES:
+        environment = build_environment(BENCH_ENV, WorldSpec())
+        simulator = FleetSimulator(
+            environment,
+            RoboRunRuntime,
+            FLEET_MISSION,
+            n_drones=n,
+        )
+        start = time.perf_counter()
+        result = simulator.run()
+        wall = time.perf_counter() - start
+        decisions = int(result.metrics.decision_count)
+        assert decisions > 0, f"fleet of {n} made no decisions"
+        assert result.fleet.n_drones == n
+        throughput = decisions / wall if wall > 0 else 0.0
+        rows.append([n, decisions, round(wall, 2), round(throughput, 1)])
+        results[str(n)] = {
+            "decisions": decisions,
+            "wall_s": wall,
+            "decisions_per_s": throughput,
+        }
+
+    print_table("Fleet throughput (decisions/sec vs fleet size)", rows)
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "fleet_throughput",
+                "environment_seed": BENCH_ENV.seed,
+                "mission": {
+                    "max_decisions": FLEET_MISSION.max_decisions,
+                    "max_mission_time_s": FLEET_MISSION.max_mission_time_s,
+                },
+                "fleet_sizes": list(FLEET_SIZES),
+                "results": results,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    assert RESULT_PATH.exists()

@@ -8,8 +8,9 @@ evaluation depends on, and — at its centre — the RoboRun governor, profilers
 and operators plus the static spatial-oblivious baseline it is compared
 against.  On top sit the procedural world library (:mod:`repro.worlds`:
 archetype registry, heterogeneity fields, dynamic obstacles), the
-scenario/campaign layer (declarative missions
-fanned across a process pool) and the analysis subsystem
+scenario/campaign layer (declarative missions — single drone or an N-drone
+fleet sharing one world and bus (:class:`~repro.simulation.fleet.
+FleetSimulator`) — fanned across a process pool) and the analysis subsystem
 (:mod:`repro.analysis`): structured mission traces, streaming JSONL trace
 files, and the aggregators that fold traces into the paper's figures —
 surfaced on the command line as ``python -m repro.report``.
@@ -44,8 +45,10 @@ from repro.environment.generator import (
     EnvironmentGenerator,
     GeneratedEnvironment,
 )
+from repro.middleware.topic import TopicNamespace
 from repro.simulation.campaign import CampaignResult, CampaignRunner, ScenarioOutcome
 from repro.simulation.faults import CameraDegradation, FaultSet, SensorDropout
+from repro.simulation.fleet import FleetMetrics, FleetResult, FleetSimulator
 from repro.simulation.metrics import DecisionTrace, MissionMetrics
 from repro.simulation.mission import MissionConfig, MissionResult, MissionSimulator
 from repro.simulation.pipeline import DecisionPipeline, PipelineHop
@@ -76,6 +79,9 @@ __all__ = [
     "FigureTable",
     "EnvironmentGenerator",
     "FaultSet",
+    "FleetMetrics",
+    "FleetResult",
+    "FleetSimulator",
     "GeneratedEnvironment",
     "Governor",
     "GovernorDecision",
@@ -101,6 +107,7 @@ __all__ = [
     "SpaceProfile",
     "SpatialObliviousRuntime",
     "TimeBudgeter",
+    "TopicNamespace",
     "TraceReader",
     "TraceRecorder",
     "TraceWriter",

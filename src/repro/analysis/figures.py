@@ -405,6 +405,78 @@ def archetype_comparison(missions: Sequence[MissionRecord]) -> FigureTable:
 
 
 # ----------------------------------------------------------------------
+# Fleet scaling — governor vs. baseline as the fleet grows
+# ----------------------------------------------------------------------
+def fleet_scaling(missions: Sequence[MissionRecord]) -> FigureTable:
+    """Governor vs. baseline as the fleet grows, one row per fleet size.
+
+    Groups completed missions by the fleet size recorded on them (pre-fleet
+    records count as single-drone) and reports, per design, the mission
+    count, the mean per-drone completion rate, the mean makespan and the
+    mean fleet energy.  Mission time for a fleet record is the makespan —
+    the moment the *last* drone finished — and energy is the fleet total,
+    so the columns stay comparable across sizes.  When both designs of the
+    A/B pair flew a size the ``time_speedup`` column shows how many times
+    faster the governor's fleet finished; ``meta["speedups"]`` maps each
+    size to that ratio (``None`` when the pair is incomplete) and
+    ``meta["sizes"]`` lists the sizes in row order.
+    """
+    usable = ok_missions(missions)
+    sizes = sorted({m.n_drones for m in usable})
+    designs = design_order([m.design for m in usable])
+    columns = ["n_drones"]
+    for design in designs:
+        columns.extend(
+            [
+                f"{design}_missions",
+                f"{design}_completion_rate",
+                f"{design}_time_s",
+                f"{design}_energy_kj",
+            ]
+        )
+    columns.append("time_speedup")
+    rows: List[List[Any]] = []
+    speedups: Dict[int, Optional[float]] = {}
+    for size in sizes:
+        row: List[Any] = [size]
+        times: Dict[str, float] = {}
+        for design in designs:
+            members = [
+                m for m in usable if m.n_drones == size and m.design == design
+            ]
+            if members:
+                mean_time = _mean([m.metrics["mission_time_s"] for m in members])
+                times[design] = mean_time
+                row.extend(
+                    [
+                        len(members),
+                        round(_mean([m.completion_rate for m in members]), 3),
+                        round(mean_time, 1),
+                        round(_mean([m.metrics["energy_kj"] for m in members]), 1),
+                    ]
+                )
+            else:
+                row.extend([0, "-", "-", "-"])
+        base = times.get(BASELINE_DESIGN)
+        robo = times.get(ROBORUN_DESIGN)
+        if base is not None and robo is not None and robo > 0:
+            speedup: Optional[float] = base / robo
+            row.append(round(speedup, 2))
+        else:
+            speedup = None
+            row.append("n/a")
+        speedups[size] = speedup
+        rows.append(row)
+    return FigureTable(
+        key="fleet",
+        title="Fleet scaling: governor vs. baseline as the fleet grows",
+        columns=columns,
+        rows=rows,
+        meta={"speedups": speedups, "sizes": sizes},
+    )
+
+
+# ----------------------------------------------------------------------
 # Analytical model tables (Figures 2 and 5 as the paper draws them)
 # ----------------------------------------------------------------------
 def fig2a_model_table(

@@ -60,12 +60,14 @@ class TraceRecorder:
         self._spec_dict: Optional[Dict[str, Any]] = None
         self.spec = spec
         self._pipeline: Optional["DecisionPipeline"] = None
+        self._attached: List["DecisionPipeline"] = []
         self._energy_model: Optional["EnergyModel"] = None
-        # Per-decision message state, keyed by decision index.
-        self._dropped: Dict[int, bool] = {}
-        self._profiles: Dict[int, Any] = {}
-        self._decisions: Dict[int, Any] = {}
-        self._plannings: Dict[int, Any] = {}
+        # Per-decision message state, keyed by (drone id, decision index) so
+        # one recorder can tap every pipeline of a fleet without crosstalk.
+        self._dropped: Dict[tuple, bool] = {}
+        self._profiles: Dict[tuple, Any] = {}
+        self._decisions: Dict[tuple, Any] = {}
+        self._plannings: Dict[tuple, Any] = {}
 
     # ------------------------------------------------------------------
     # Spec context
@@ -108,52 +110,55 @@ class TraceRecorder:
         """Subscribe to the pipeline's topics (the record hook point).
 
         Called by :meth:`DecisionPipeline.add_tap` /
-        :meth:`MissionSimulator.run`; may only be called once per recorder.
+        :meth:`MissionSimulator.run`.  A fleet mission attaches one recorder
+        to every drone's pipeline: the subscriptions resolve through each
+        pipeline's own topic bundle, so the per-namespace streams never mix.
+        Attaching the *same* pipeline twice would double-record it and is
+        rejected.
         """
-        # Imported here: the pipeline module imports mission-level types and
-        # this module must stay importable without the simulation stack.
-        from repro.simulation.pipeline import (
-            TOPIC_DECISION,
-            TOPIC_FLIGHT,
-            TOPIC_PLANNING,
-            TOPIC_PROFILE,
-            TOPIC_SCAN,
+        if any(existing is pipeline for existing in self._attached):
+            raise ValueError("recorder is already attached to this pipeline")
+        if self._pipeline is None:
+            self._pipeline = pipeline
+        self._attached.append(pipeline)
+        self._energy_model = energy_model
+        topics = pipeline.topics
+        executor = pipeline.executor
+        drone = pipeline.drone_id
+        executor.subscribe(topics.scan, lambda m, d=drone: self._on_scan(d, m))
+        executor.subscribe(topics.profile, lambda m, d=drone: self._on_profile(d, m))
+        executor.subscribe(
+            topics.decision, lambda m, d=drone: self._on_decision(d, m)
+        )
+        executor.subscribe(
+            topics.planning, lambda m, d=drone: self._on_planning(d, m)
+        )
+        executor.subscribe(
+            topics.flight, lambda m, p=pipeline: self._on_flight(p, m)
         )
 
-        if self._pipeline is not None:
-            raise ValueError("recorder is already attached to a pipeline")
-        self._pipeline = pipeline
-        self._energy_model = energy_model
-        executor = pipeline.executor
-        executor.subscribe(TOPIC_SCAN, self._on_scan)
-        executor.subscribe(TOPIC_PROFILE, self._on_profile)
-        executor.subscribe(TOPIC_DECISION, self._on_decision)
-        executor.subscribe(TOPIC_PLANNING, self._on_planning)
-        executor.subscribe(TOPIC_FLIGHT, self._on_flight)
-
     # -- per-topic subscribers ------------------------------------------
-    def _on_scan(self, message: Any) -> None:
-        self._dropped[message.payload.index] = message.payload.dropped
+    def _on_scan(self, drone: int, message: Any) -> None:
+        self._dropped[(drone, message.payload.index)] = message.payload.dropped
 
-    def _on_profile(self, message: Any) -> None:
-        self._profiles[message.payload.index] = message.payload.profile
+    def _on_profile(self, drone: int, message: Any) -> None:
+        self._profiles[(drone, message.payload.index)] = message.payload.profile
 
-    def _on_decision(self, message: Any) -> None:
-        self._decisions[message.payload.index] = message.payload.decision
+    def _on_decision(self, drone: int, message: Any) -> None:
+        self._decisions[(drone, message.payload.index)] = message.payload.decision
 
-    def _on_planning(self, message: Any) -> None:
-        self._plannings[message.payload.index] = message.payload
+    def _on_planning(self, drone: int, message: Any) -> None:
+        self._plannings[(drone, message.payload.index)] = message.payload
 
-    def _on_flight(self, message: Any) -> None:
+    def _on_flight(self, pipeline: "DecisionPipeline", message: Any) -> None:
         """Final hop of the cascade: fold the decision's messages into a record."""
         result = message.payload
         index = result.index
-        pipeline = self._pipeline
-        assert pipeline is not None  # attach() subscribed us
-        profile = self._profiles.pop(index)
-        decision = self._decisions.pop(index)
-        planning = self._plannings.pop(index)
-        dropped = self._dropped.pop(index, False)
+        key = (pipeline.drone_id, index)
+        profile = self._profiles.pop(key)
+        decision = self._decisions.pop(key)
+        planning = self._plannings.pop(key)
+        dropped = self._dropped.pop(key, False)
 
         stage_latencies = pipeline.ledger.stages_for(index)
         busy = compute_seconds(stage_latencies)
@@ -209,14 +214,25 @@ class TraceRecorder:
             hit=result.hit,
             archetype=archetype,
             difficulty=difficulty,
+            drone_id=pipeline.drone_id,
         )
         self._emit(record)
 
     # ------------------------------------------------------------------
     # Mission end
     # ------------------------------------------------------------------
-    def on_mission_end(self, metrics: "MissionMetrics") -> MissionRecord:
-        """Emit the mission summary record once the mission loop finishes."""
+    def on_mission_end(
+        self,
+        metrics: "MissionMetrics",
+        fleet: Optional[Dict[str, Any]] = None,
+        drones: Optional[List[Dict[str, Any]]] = None,
+    ) -> MissionRecord:
+        """Emit the mission summary record once the mission loop finishes.
+
+        Fleet missions pass the fleet-level aggregate (``fleet``) and the
+        per-drone metric dictionaries (``drones``); single-drone missions
+        leave both ``None`` and the record serialises exactly as before.
+        """
         spec = self.spec_dict
         pipeline = self._pipeline
         design = metrics.design
@@ -235,6 +251,8 @@ class TraceRecorder:
             metrics=metrics.as_dict(),
             error=None,
             spec=spec,
+            fleet=dict(fleet) if fleet else None,
+            drones=[dict(d) for d in drones] if drones else None,
         )
         self.mission_record = record if self.keep_records else None
         self._emit(record, keep=False)

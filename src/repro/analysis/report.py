@@ -22,6 +22,7 @@ from repro.analysis.figures import (
     fig5_governor_response,
     fig7_overall,
     fig8_sensitivity,
+    fleet_scaling,
     ok_missions,
 )
 from repro.analysis.io import list_trace_files, read_traces
@@ -130,11 +131,16 @@ class CampaignReport:
         """Per-archetype governor-vs-baseline table from the mission records."""
         return archetype_comparison(self.missions)
 
+    def fleet(self) -> FigureTable:
+        """Fleet-scaling table (governor vs. baseline per fleet size)."""
+        return fleet_scaling(self.missions)
+
     def tables(self) -> List[FigureTable]:
         """Every figure table of the report: paper order, then the
-        per-archetype comparison."""
+        per-archetype comparison and the fleet-scaling table."""
         return [self.fig2(), self.fig5(), self.fig7()] + self.fig8() + [
-            self.archetypes()
+            self.archetypes(),
+            self.fleet(),
         ]
 
     def failures(self) -> List[MissionRecord]:

@@ -83,6 +83,8 @@ class DecisionRecord:
             position, interpolated from the environment's heterogeneity
             field (0.0 when the environment has none — including every
             pre-worlds trace).
+        drone_id: which drone of a fleet mission made this decision (0 for
+            every single-drone mission, and for every pre-fleet trace).
     """
 
     spec_name: str
@@ -115,6 +117,8 @@ class DecisionRecord:
     # Worlds-layer fields; defaulted so pre-worlds trace lines still parse.
     archetype: str = ""
     difficulty: float = 0.0
+    # Fleet-layer field; defaulted so pre-fleet trace lines still parse.
+    drone_id: int = 0
 
     @property
     def compute_latency(self) -> float:
@@ -165,6 +169,7 @@ class DecisionRecord:
             "hit": self.hit,
             "archetype": self.archetype,
             "difficulty": self.difficulty,
+            "drone_id": self.drone_id,
         }
 
     @classmethod
@@ -202,6 +207,8 @@ class DecisionRecord:
             # Absent in pre-worlds traces; the defaults keep old files readable.
             archetype=str(data.get("archetype", "")),
             difficulty=float(data.get("difficulty", 0.0)),
+            # Absent in pre-fleet traces: a single drone, id 0.
+            drone_id=int(data.get("drone_id", 0)),
         )
 
 
@@ -227,6 +234,12 @@ class MissionRecord:
         error: ``None`` on success; otherwise ``{"type", "message",
             "traceback", "spec_json"}`` describing the per-spec failure.
         spec: the full scenario spec as plain data, when known.
+        fleet: fleet-level aggregates (``n_drones``, ``completion_rate``,
+            ``min_separation_m``, ``airspace_conflicts``, ``fleet_energy_kj``,
+            …) for fleet missions; ``None`` for single-drone missions and
+            every pre-fleet trace.
+        drones: one per-drone metrics dictionary per fleet member, in
+            drone-id order; ``None`` for single-drone missions.
     """
 
     spec_name: str
@@ -236,6 +249,9 @@ class MissionRecord:
     metrics: Dict[str, float] = field(default_factory=dict)
     error: Optional[Dict[str, str]] = None
     spec: Optional[Dict[str, Any]] = None
+    # Fleet-layer fields; defaulted so pre-fleet trace lines still parse.
+    fleet: Optional[Dict[str, Any]] = None
+    drones: Optional[List[Dict[str, Any]]] = None
 
     @classmethod
     def from_result(
@@ -291,6 +307,25 @@ class MissionRecord:
         world = spec.get("world") or {}
         return str(world.get("archetype") or "paper_corridor")
 
+    @property
+    def n_drones(self) -> int:
+        """The mission's fleet size (1 for every pre-fleet record)."""
+        if self.fleet and self.fleet.get("n_drones"):
+            return int(self.fleet["n_drones"])
+        spec = self.spec or {}
+        return int(spec.get("n_drones", 1) or 1)
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of the fleet that completed its mission.
+
+        Single-drone missions report 1.0 / 0.0 from the mission's own
+        success flag, so the fleet-scaling table can mix fleet sizes.
+        """
+        if self.fleet is not None and "completion_rate" in self.fleet:
+            return float(self.fleet["completion_rate"])
+        return 1.0 if self.success else 0.0
+
     def knob(self, name: str) -> Optional[float]:
         """One environment difficulty knob value, or None when unknown."""
         value = self.environment.get(name)
@@ -308,6 +343,8 @@ class MissionRecord:
             "metrics": dict(self.metrics),
             "error": dict(self.error) if self.error else None,
             "spec": dict(self.spec) if self.spec else None,
+            "fleet": dict(self.fleet) if self.fleet else None,
+            "drones": [dict(d) for d in self.drones] if self.drones else None,
         }
 
     @classmethod
@@ -320,6 +357,10 @@ class MissionRecord:
             metrics={k: float(v) for k, v in (data.get("metrics") or {}).items()},
             error=dict(data["error"]) if data.get("error") else None,
             spec=dict(data["spec"]) if data.get("spec") else None,
+            fleet=dict(data["fleet"]) if data.get("fleet") else None,
+            drones=(
+                [dict(d) for d in data["drones"]] if data.get("drones") else None
+            ),
         )
 
 

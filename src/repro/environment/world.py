@@ -69,6 +69,7 @@ class World:
         self._obstacles: List[Obstacle] = []
         self._hash: dict[Tuple[int, int], List[int]] = {}
         self._dynamic: List[Obstacle] = []
+        self._agents: List[Obstacle] = []
         for obstacle in obstacles or []:
             self.add_obstacle(obstacle)
 
@@ -124,6 +125,31 @@ class World:
         return tuple(self._dynamic)
 
     # ------------------------------------------------------------------
+    # Agent (peer drone) layer
+    # ------------------------------------------------------------------
+    def set_agent_obstacles(self, obstacles: Iterable[Obstacle]) -> None:
+        """Replace the agent layer: the other drones of a fleet, as boxes.
+
+        Kept separate from the mover layer because
+        :meth:`~repro.worlds.movers.DynamicObstacleSet.step` replaces the
+        dynamic layer wholesale at the sense boundary; the fleet simulator
+        refreshes this layer per drone turn instead.  Empty for single-drone
+        missions, so they pay nothing.
+        """
+        self._agents = list(obstacles)
+
+    @property
+    def agent_obstacles(self) -> Sequence[Obstacle]:
+        """The agent obstacle layer (peer drones), as most recently set."""
+        return tuple(self._agents)
+
+    def _unhashed_obstacles(self) -> List[Obstacle]:
+        """Movers plus peer agents — the obstacles scanned linearly."""
+        if not self._agents:
+            return self._dynamic
+        return self._dynamic + self._agents
+
+    # ------------------------------------------------------------------
     # Basic properties
     # ------------------------------------------------------------------
     @property
@@ -142,7 +168,7 @@ class World:
         result = [self._obstacles[idx] for idx in self._candidate_indices(point, radius)]
         result.extend(
             obstacle
-            for obstacle in self._dynamic
+            for obstacle in self._unhashed_obstacles()
             if obstacle.box.distance_to_point(point) <= radius
         )
         return result
@@ -163,7 +189,7 @@ class World:
                     return True
             elif obstacle.box.expanded(margin).contains(point):
                 return True
-        for obstacle in self._dynamic:
+        for obstacle in self._unhashed_obstacles():
             box = obstacle.box if margin == 0.0 else obstacle.box.expanded(margin)
             if box.contains(point):
                 return True
@@ -183,7 +209,7 @@ class World:
                 box = box.expanded(margin)
             if segment_intersects_aabb(start, end, box):
                 return True
-        for obstacle in self._dynamic:
+        for obstacle in self._unhashed_obstacles():
             box = obstacle.box if margin == 0.0 else obstacle.box.expanded(margin)
             if segment_intersects_aabb(start, end, box):
                 return True
@@ -203,7 +229,7 @@ class World:
             d = self._obstacles[idx].distance_to(point)
             if d < best:
                 best = d
-        for obstacle in self._dynamic:
+        for obstacle in self._unhashed_obstacles():
             d = obstacle.distance_to(point)
             if d < best:
                 best = d
@@ -227,7 +253,7 @@ class World:
             self._obstacles[idx].box
             for idx in self._candidate_indices(probe_point, max_range)
         ]
-        candidates.extend(obstacle.box for obstacle in self._dynamic)
+        candidates.extend(obstacle.box for obstacle in self._unhashed_obstacles())
         for box in candidates:
             hit = ray_aabb_intersect(ray, box)
             if hit is None:

@@ -20,6 +20,63 @@ from repro.middleware.message import Message
 SubscriberCallback = Callable[[Message[Any]], None]
 
 
+@dataclass(frozen=True, slots=True)
+class TopicNamespace:
+    """A prefix under which one participant's topics and node names live.
+
+    The single-drone stack publishes on bare topic names (``/sense/scan``);
+    a fleet runs N copies of the same graph on one shared bus, so each
+    drone's topics are prefixed with its namespace (``/drone/0/sense/scan``).
+    The **root namespace** (empty prefix, the default) resolves every base
+    name to itself, which is what keeps the N=1 stack bit-identical to the
+    pre-fleet one.
+
+    Attributes:
+        prefix: ``""`` for the root namespace, else a ``/``-led,
+            non-``/``-terminated path segment such as ``/drone/3``.
+    """
+
+    prefix: str = ""
+
+    def __post_init__(self) -> None:
+        if self.prefix:
+            if not self.prefix.startswith("/") or self.prefix.endswith("/"):
+                raise ValueError(
+                    "namespace prefix must start with '/' and not end with one: "
+                    f"{self.prefix!r}"
+                )
+
+    @classmethod
+    def for_drone(cls, drone_id: int) -> "TopicNamespace":
+        """The canonical per-drone namespace, ``/drone/<id>``."""
+        if drone_id < 0:
+            raise ValueError("drone id cannot be negative")
+        return cls(prefix=f"/drone/{int(drone_id)}")
+
+    @property
+    def is_root(self) -> bool:
+        """True for the legacy single-drone namespace (empty prefix)."""
+        return not self.prefix
+
+    def topic(self, base: str) -> str:
+        """Resolve a base topic name (``/sense/scan``) inside this namespace."""
+        if not base.startswith("/"):
+            raise ValueError(f"base topic names must start with '/': {base!r}")
+        return self.prefix + base
+
+    def node(self, base: str) -> str:
+        """Resolve a base node name (``sense``) inside this namespace.
+
+        Root keeps the bare name; a drone namespace yields ``drone/<id>/sense``
+        so frame ids in a shared dispatch log identify the publisher.
+        """
+        if not base:
+            raise ValueError("base node name must be non-empty")
+        if self.is_root:
+            return base
+        return f"{self.prefix[1:]}/{base}"
+
+
 class Topic:
     """A named channel with subscribers and a bounded message history."""
 

@@ -71,7 +71,7 @@ def _grid_from_kwargs(kwargs: Dict[str, Any]) -> List[ScenarioSpec]:
         kwargs["mission"] = MissionConfig(**kwargs["mission"])
     if "faults" in kwargs:
         kwargs["faults"] = FaultSet.from_dict(kwargs["faults"])
-    for knob in ("designs", "densities", "spreads", "goal_distances"):
+    for knob in ("designs", "densities", "spreads", "goal_distances", "n_drones"):
         if knob in kwargs:
             kwargs[knob] = tuple(kwargs[knob])
     return scenario_grid(**kwargs)
@@ -162,8 +162,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.csv_dir is not None:
         written = report.write_csvs(args.csv_dir)
         print(f"{len(written)} CSV table(s) written to {args.csv_dir}/")
-    if report.failures():
-        print(f"WARNING: {len(report.failures())} spec(s) failed; see the report")
+    failed = report.failures()
+    if failed and len(failed) == len(report.missions):
+        # Every spec errored: the report holds nothing but the failure
+        # section, so the run itself failed — exit nonzero and say so.
+        print(
+            f"ERROR: all {len(failed)} spec(s) failed to run; "
+            "see the report's partial-failures section"
+        )
+        return 1
+    if failed:
+        print(f"WARNING: {len(failed)} spec(s) failed; see the report")
     return 0
 
 

@@ -76,6 +76,10 @@ def _run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         row["metrics"] = result.metrics.as_dict()
         if payload.get("keep_results"):
             result.pipeline = None
+            # Fleet results additionally carry one MissionResult per drone,
+            # each with its own live pipeline to strip.
+            for drone_result in getattr(result, "drones", ()):  # FleetResult
+                drone_result.pipeline = None
             row["result"] = result
     except Exception as exc:  # noqa: BLE001 - the whole point is to surface it
         error = _error_record(spec_dict, exc)

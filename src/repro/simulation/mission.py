@@ -41,6 +41,8 @@ from repro.simulation.pipeline import DecisionPipeline
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.recorder import TraceRecorder
+    from repro.middleware.executor import Executor
+    from repro.middleware.topic import TopicNamespace
 
 
 class Runtime(Protocol):
@@ -224,13 +226,22 @@ class MissionSimulator:
     # ------------------------------------------------------------------
     # Graph wiring
     # ------------------------------------------------------------------
-    def build_pipeline(self) -> DecisionPipeline:
+    def build_pipeline(
+        self,
+        *,
+        namespace: Optional["TopicNamespace"] = None,
+        executor: Optional["Executor"] = None,
+        drone_id: int = 0,
+    ) -> DecisionPipeline:
         """Wire a fresh node graph over the simulator's kernels and models.
 
-        Each call creates a new bus, executor, clock and accounting; the
-        pipeline shares the simulator's operator set, so the occupancy map
-        carries over between pipelines built by the same simulator (exactly
-        as repeated ``run()`` calls shared it before the node refactor).
+        Without arguments each call creates a new bus, executor, clock and
+        accounting; the pipeline shares the simulator's operator set, so the
+        occupancy map carries over between pipelines built by the same
+        simulator (exactly as repeated ``run()`` calls shared it before the
+        node refactor).  The fleet simulator passes a shared ``executor``
+        plus a per-drone ``namespace``/``drone_id`` so N graphs coexist on
+        one bus.
         """
         return DecisionPipeline(
             environment=self.environment,
@@ -244,6 +255,9 @@ class MissionSimulator:
             sensors=self.sensors,
             follower=self.follower,
             faults=self.faults,
+            namespace=namespace,
+            executor=executor,
+            drone_id=drone_id,
         )
 
     # ------------------------------------------------------------------

@@ -58,7 +58,7 @@ from repro.middleware.executor import Executor
 from repro.middleware.latency import LatencyLedger, compute_seconds
 from repro.middleware.message import Message
 from repro.middleware.node import Node
-from repro.middleware.topic import TopicBus
+from repro.middleware.topic import TopicBus, TopicNamespace
 from repro.planning.trajectory import Trajectory
 from repro.sensors.rig import CameraRig, RigScan
 from repro.sensors.state_sensors import StateEstimate, StateSensorSuite
@@ -92,6 +92,50 @@ COMM_HOP_TOPICS: Dict[str, str] = {
     "comm_planning": TOPIC_PLANNING,
     "comm_control": TOPIC_TRAJECTORY,
 }
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineTopics:
+    """The seven topic names of one pipeline instance, resolved in a namespace.
+
+    A single-drone pipeline uses the bare module constants; each drone of a
+    fleet gets its own bundle prefixed by its
+    :class:`~repro.middleware.topic.TopicNamespace` (``/drone/0/sense/scan``,
+    …), so N graphs coexist on one shared bus without crosstalk.
+    """
+
+    scan: str = TOPIC_SCAN
+    profile: str = TOPIC_PROFILE
+    decision: str = TOPIC_DECISION
+    perception: str = TOPIC_PERCEPTION
+    planning: str = TOPIC_PLANNING
+    trajectory: str = TOPIC_TRAJECTORY
+    flight: str = TOPIC_FLIGHT
+
+    @classmethod
+    def for_namespace(cls, namespace: TopicNamespace) -> "PipelineTopics":
+        return cls(
+            scan=namespace.topic(TOPIC_SCAN),
+            profile=namespace.topic(TOPIC_PROFILE),
+            decision=namespace.topic(TOPIC_DECISION),
+            perception=namespace.topic(TOPIC_PERCEPTION),
+            planning=namespace.topic(TOPIC_PLANNING),
+            trajectory=namespace.topic(TOPIC_TRAJECTORY),
+            flight=namespace.topic(TOPIC_FLIGHT),
+        )
+
+    def comm_hop_topics(self) -> Dict[str, str]:
+        """Per-instance analogue of :data:`COMM_HOP_TOPICS`."""
+        return {
+            "comm_point_cloud": self.scan,
+            "comm_octomap": self.perception,
+            "comm_planning": self.planning,
+            "comm_control": self.trajectory,
+        }
+
+
+#: The root (single-drone) topic bundle: exactly the module constants.
+ROOT_TOPICS = PipelineTopics()
 
 
 # ----------------------------------------------------------------------
@@ -224,8 +268,12 @@ class SenseNode(Node):
         environment: GeneratedEnvironment,
         faults: Optional[FaultSet] = None,
         octree: Optional["OccupancyOctree"] = None,
+        *,
+        topics: PipelineTopics = ROOT_TOPICS,
+        name: str = "sense",
     ) -> None:
-        super().__init__("sense", executor)
+        super().__init__(name, executor)
+        self.topics = topics
         self.rig = rig
         self.sensors = sensors
         self.environment = environment
@@ -236,7 +284,7 @@ class SenseNode(Node):
         self._position = environment.start
         self._velocity = Vec3.zero()
         self._degraded_rig: Optional[CameraRig] = None
-        self.subscribe(TOPIC_FLIGHT, self._on_flight)
+        self.subscribe(topics.flight, self._on_flight)
 
     def _on_flight(self, message: Message[FlightResult]) -> None:
         self._position = message.payload.state.position
@@ -268,7 +316,7 @@ class SenseNode(Node):
             self.executor.clock.now, self._position, self._velocity
         )
         self.publish(
-            TOPIC_SCAN, SenseSample(decision_index, scan, estimate, dropped)
+            self.topics.scan, SenseSample(decision_index, scan, estimate, dropped)
         )
 
 
@@ -282,15 +330,19 @@ class ProfileNode(Node):
         operators: OperatorSet,
         rig_max_volume: float,
         goal: Vec3,
+        *,
+        topics: PipelineTopics = ROOT_TOPICS,
+        name: str = "profile",
     ) -> None:
-        super().__init__("profile", executor)
+        super().__init__(name, executor)
+        self.topics = topics
         self.profilers = profilers
         self.operators = operators
         self.rig_max_volume = rig_max_volume
         self.goal = goal
         self._trajectory: Optional[Trajectory] = None
-        self.subscribe(TOPIC_SCAN, self._on_scan)
-        self.subscribe(TOPIC_TRAJECTORY, self._on_trajectory)
+        self.subscribe(topics.scan, self._on_scan)
+        self.subscribe(topics.trajectory, self._on_trajectory)
 
     def _on_trajectory(self, message: Message[TrajectorySample]) -> None:
         self._trajectory = message.payload.trajectory
@@ -310,40 +362,56 @@ class ProfileNode(Node):
             rig_max_volume=self.rig_max_volume,
             heading=self.goal - sample.scan.position,
         )
-        self.publish(TOPIC_PROFILE, ProfileSample(sample.index, profile))
+        self.publish(self.topics.profile, ProfileSample(sample.index, profile))
 
 
 class GovernorNode(Node):
     """Hosts the runtime under test (RoboRun's governor or the baseline)."""
 
     def __init__(
-        self, executor: Executor, runtime: "Runtime", cost_model: WorkloadCostModel
+        self,
+        executor: Executor,
+        runtime: "Runtime",
+        cost_model: WorkloadCostModel,
+        *,
+        topics: PipelineTopics = ROOT_TOPICS,
+        name: str = "governor",
     ) -> None:
-        super().__init__("governor", executor)
+        super().__init__(name, executor)
+        self.topics = topics
         self.runtime = runtime
         self.cost_model = cost_model
-        self.subscribe(TOPIC_PROFILE, self._on_profile)
+        self.subscribe(topics.profile, self._on_profile)
 
     def _on_profile(self, message: Message[ProfileSample]) -> None:
         decision = self.runtime.decide(message.payload.profile)
         self.charge_compute(self.cost_model.runtime_latency(self.runtime.spatial_aware))
-        self.publish(TOPIC_DECISION, DecisionSample(message.payload.index, decision))
+        self.publish(
+            self.topics.decision, DecisionSample(message.payload.index, decision)
+        )
 
 
 class PerceptionNode(Node):
     """Runs the point-cloud and OctoMap kernels under the decided policy."""
 
     def __init__(
-        self, executor: Executor, operators: OperatorSet, cost_model: WorkloadCostModel
+        self,
+        executor: Executor,
+        operators: OperatorSet,
+        cost_model: WorkloadCostModel,
+        *,
+        topics: PipelineTopics = ROOT_TOPICS,
+        name: str = "perception",
     ) -> None:
-        super().__init__("perception", executor)
+        super().__init__(name, executor)
+        self.topics = topics
         self.operators = operators
         self.cost_model = cost_model
         self._scan: Optional[SenseSample] = None
         self._trajectory: Optional[Trajectory] = None
-        self.subscribe(TOPIC_SCAN, self._on_scan)
-        self.subscribe(TOPIC_TRAJECTORY, self._on_trajectory)
-        self.subscribe(TOPIC_DECISION, self._on_decision)
+        self.subscribe(topics.scan, self._on_scan)
+        self.subscribe(topics.trajectory, self._on_trajectory)
+        self.subscribe(topics.decision, self._on_decision)
 
     def _on_scan(self, message: Message[SenseSample]) -> None:
         self._scan = message.payload
@@ -369,7 +437,7 @@ class PerceptionNode(Node):
             + self.cost_model.octomap_latency(output.work)
         )
         self.publish(
-            TOPIC_PERCEPTION, PerceptionSample(sample.index, output, position)
+            self.topics.perception, PerceptionSample(sample.index, output, position)
         )
 
 
@@ -383,8 +451,12 @@ class PlanningNode(Node):
         config: "MissionConfig",
         environment: GeneratedEnvironment,
         cost_model: WorkloadCostModel,
+        *,
+        topics: PipelineTopics = ROOT_TOPICS,
+        name: str = "planning",
     ) -> None:
-        super().__init__("planning", executor)
+        super().__init__(name, executor)
+        self.topics = topics
         self.operators = operators
         self.config = config
         self.environment = environment
@@ -393,9 +465,9 @@ class PlanningNode(Node):
         self._decisions_since_plan = 0
         self._trajectory: Optional[Trajectory] = None
         self._decision: Optional[DecisionSample] = None
-        self.subscribe(TOPIC_DECISION, self._on_decision)
-        self.subscribe(TOPIC_PERCEPTION, self._on_perception)
-        self.subscribe(TOPIC_FLIGHT, self._on_flight)
+        self.subscribe(topics.decision, self._on_decision)
+        self.subscribe(topics.perception, self._on_perception)
+        self.subscribe(topics.flight, self._on_flight)
 
     # -- helpers (the planning policy of the decision loop) -------------
     def should_replan(
@@ -506,7 +578,7 @@ class PlanningNode(Node):
         if message.payload.drop_trajectory:
             self._trajectory = None
             self.publish(
-                TOPIC_TRAJECTORY, TrajectorySample(message.payload.index, None)
+                self.topics.trajectory, TrajectorySample(message.payload.index, None)
             )
 
     def _on_perception(self, message: Message[PerceptionSample]) -> None:
@@ -552,9 +624,11 @@ class PlanningNode(Node):
             + self.cost_model.planning_latency(planning.work)
             + self.cost_model.smoothing_latency(planning.work)
         )
-        self.publish(TOPIC_TRAJECTORY, TrajectorySample(sample.index, trajectory))
         self.publish(
-            TOPIC_PLANNING,
+            self.topics.trajectory, TrajectorySample(sample.index, trajectory)
+        )
+        self.publish(
+            self.topics.planning,
             PlanningSample(sample.index, planning, trajectory, replanned, position),
         )
 
@@ -582,8 +656,12 @@ class FlightNode(Node):
         ledger: LatencyLedger,
         cpu: CpuUtilizationTracker,
         traces: List[DecisionTrace],
+        *,
+        topics: PipelineTopics = ROOT_TOPICS,
+        name: str = "flight",
     ) -> None:
-        super().__init__("flight", executor)
+        super().__init__(name, executor)
+        self.topics = topics
         self.config = config
         self.environment = environment
         self.runtime = runtime
@@ -603,10 +681,10 @@ class FlightNode(Node):
         self._decision: Optional[DecisionSample] = None
         self._perception: Optional[PerceptionSample] = None
         self._stalled_decisions = 0
-        self.subscribe(TOPIC_PROFILE, self._on_profile)
-        self.subscribe(TOPIC_DECISION, self._on_decision)
-        self.subscribe(TOPIC_PERCEPTION, self._on_perception)
-        self.subscribe(TOPIC_PLANNING, self._on_planning)
+        self.subscribe(topics.profile, self._on_profile)
+        self.subscribe(topics.decision, self._on_decision)
+        self.subscribe(topics.perception, self._on_perception)
+        self.subscribe(topics.planning, self._on_planning)
 
     def _on_profile(self, message: Message[ProfileSample]) -> None:
         self._profile = message.payload
@@ -688,7 +766,7 @@ class FlightNode(Node):
             drop_trajectory=drop_trajectory,
         )
         self.last_result = result
-        self.publish(TOPIC_FLIGHT, result)
+        self.publish(self.topics.flight, result)
 
     # -- latency recording ----------------------------------------------
     def _record_latencies(
@@ -696,8 +774,9 @@ class FlightNode(Node):
     ) -> None:
         """Record the breakdown: compute stages directly, comm stages as hops."""
         now = self.executor.clock.now
+        hop_topics = self.topics.comm_hop_topics()
         for stage, seconds in stage_latencies.items():
-            hop_topic = COMM_HOP_TOPICS.get(stage)
+            hop_topic = hop_topics.get(stage)
             if hop_topic is None:
                 self.ledger.record(decision_index, stage, seconds, now)
                 continue
@@ -804,17 +883,41 @@ class DecisionPipeline:
         sensors: StateSensorSuite,
         follower: PurePursuitFollower,
         faults: Optional[FaultSet] = None,
+        *,
+        namespace: Optional[TopicNamespace] = None,
+        executor: Optional[Executor] = None,
+        drone_id: int = 0,
     ) -> None:
         self.environment = environment
-        self.clock = SimClock()
-        self.bus = TopicBus()
-        self.executor = Executor(self.bus, self.clock, record_dispatch=True)
+        self.namespace = namespace or TopicNamespace()
+        self.drone_id = drone_id
+        if executor is None:
+            # Stand-alone (single-drone) pipeline: owns its clock and bus.
+            self.clock = SimClock()
+            self.bus = TopicBus()
+            self.executor = Executor(self.bus, self.clock, record_dispatch=True)
+        else:
+            # Fleet member: N pipelines share one clock/bus/executor, each
+            # publishing inside its own topic namespace.
+            self.executor = executor
+            self.bus = executor.bus
+            self.clock = executor.clock
+        self.topics = PipelineTopics.for_namespace(self.namespace)
         self.ledger = LatencyLedger()
         self.cpu = CpuUtilizationTracker(sensor_period_s=config.sensor_period_s)
         self.traces: List[DecisionTrace] = []
 
+        topics = self.topics
+        ns = self.namespace
         self.sense = SenseNode(
-            self.executor, rig, sensors, environment, faults, octree=operators.octree
+            self.executor,
+            rig,
+            sensors,
+            environment,
+            faults,
+            octree=operators.octree,
+            topics=topics,
+            name=ns.node("sense"),
         )
         self.profile = ProfileNode(
             self.executor,
@@ -822,11 +925,19 @@ class DecisionPipeline:
             operators,
             rig_max_volume=rig.max_sensor_volume(),
             goal=environment.goal,
+            topics=topics,
+            name=ns.node("profile"),
         )
-        self.governor = GovernorNode(self.executor, runtime, cost_model)
-        self.perception = PerceptionNode(self.executor, operators, cost_model)
+        self.governor = GovernorNode(
+            self.executor, runtime, cost_model, topics=topics, name=ns.node("governor")
+        )
+        self.perception = PerceptionNode(
+            self.executor, operators, cost_model, topics=topics,
+            name=ns.node("perception"),
+        )
         self.planning = PlanningNode(
-            self.executor, operators, config, environment, cost_model
+            self.executor, operators, config, environment, cost_model,
+            topics=topics, name=ns.node("planning"),
         )
         self.flight = FlightNode(
             self.executor,
@@ -840,6 +951,8 @@ class DecisionPipeline:
             self.ledger,
             self.cpu,
             self.traces,
+            topics=topics,
+            name=ns.node("flight"),
         )
         self.nodes = (
             self.sense,

@@ -18,10 +18,11 @@ import dataclasses
 import itertools
 import json
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 from repro.environment.generator import EnvironmentConfig
 from repro.simulation.faults import FaultSet
+from repro.simulation.fleet import FleetResult, FleetSimulator
 from repro.simulation.mission import MissionConfig, MissionResult, MissionSimulator
 from repro.worlds import WorldSpec, archetype_names, build_environment, is_registered
 
@@ -52,6 +53,8 @@ class ScenarioSpec:
         faults: sensor faults injected at the pipeline's sense boundary.
         world: which procedural world archetype to fly through (defaults to
             the paper corridor, so pre-worlds specs behave identically).
+        n_drones: fleet size; 1 (the default, and what every saved pre-fleet
+            spec deserialises to) flies the single-drone simulator.
     """
 
     name: str
@@ -60,6 +63,7 @@ class ScenarioSpec:
     mission: MissionConfig = field(default_factory=MissionConfig)
     faults: FaultSet = field(default_factory=FaultSet)
     world: WorldSpec = field(default_factory=WorldSpec)
+    n_drones: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -73,6 +77,8 @@ class ScenarioSpec:
                 f"unknown world archetype {self.world.archetype!r}; "
                 f"registered: {archetype_names()}"
             )
+        if self.n_drones < 1:
+            raise ValueError("n_drones must be at least 1")
 
     # ------------------------------------------------------------------
     # Derivation
@@ -93,15 +99,26 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def build_simulator(self) -> MissionSimulator:
+    def build_simulator(self) -> Union[MissionSimulator, FleetSimulator]:
         """Generate the world and wire a simulator for this scenario.
 
         The environment is built through the worlds registry: for the
         default :class:`~repro.worlds.spec.WorldSpec` this is the paper
         corridor with a bit-identical obstacle list to the pre-worlds
         generator, plus the heterogeneity field the trace recorder samples.
+        Specs with ``n_drones > 1`` get a
+        :class:`~repro.simulation.fleet.FleetSimulator` over the same
+        environment; both simulators share the ``run(recorder=...)`` shape.
         """
         environment = build_environment(self.environment, self.world)
+        if self.n_drones > 1:
+            return FleetSimulator(
+                environment,
+                lambda: _build_runtime(self.design),
+                self.mission,
+                n_drones=self.n_drones,
+                faults=self.faults,
+            )
         return MissionSimulator(
             environment,
             _build_runtime(self.design),
@@ -109,7 +126,9 @@ class ScenarioSpec:
             faults=self.faults,
         )
 
-    def run(self, recorder: Optional["TraceRecorder"] = None) -> MissionResult:
+    def run(
+        self, recorder: Optional["TraceRecorder"] = None
+    ) -> Union[MissionResult, FleetResult]:
         """Fly the scenario once and return the full mission result.
 
         Args:
@@ -134,6 +153,7 @@ class ScenarioSpec:
             "mission": dataclasses.asdict(self.mission),
             "faults": self.faults.to_dict(),
             "world": self.world.to_dict(),
+            "n_drones": self.n_drones,
         }
 
     @classmethod
@@ -149,8 +169,10 @@ class ScenarioSpec:
             mission=MissionConfig(**mission_data),
             faults=FaultSet.from_dict(data.get("faults")),
             # Pre-worlds spec dictionaries have no "world" key; they get the
-            # default paper corridor, exactly what they meant.
+            # default paper corridor, exactly what they meant.  Pre-fleet
+            # dictionaries likewise have no "n_drones": a single drone.
             world=WorldSpec.from_dict(data.get("world")),
+            n_drones=int(data.get("n_drones", 1)),
         )
 
     def to_json(self) -> str:
@@ -175,6 +197,30 @@ def _coerce_world(value: Any) -> WorldSpec:
     )
 
 
+def _ordinal_tags(labels: Sequence[str]) -> List[str]:
+    """Spec-name tags for one grid axis: repeated labels get 0-based ordinals.
+
+    ``["forest", "corridor", "forest"]`` → ``["forest0", "corridor",
+    "forest1"]``.  Unique labels are used as-is, so names stay stable when an
+    axis has no duplicates.  This is the one naming rule every swept axis
+    (worlds, fleet sizes, …) shares; spec names double as trace-file stems,
+    so tags must be unique and deterministic.
+    """
+    counts: Dict[str, int] = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    seen: Dict[str, int] = {}
+    tags: List[str] = []
+    for label in labels:
+        if counts[label] > 1:
+            ordinal = seen.get(label, 0)
+            seen[label] = ordinal + 1
+            tags.append(f"{label}{ordinal}")
+        else:
+            tags.append(label)
+    return tags
+
+
 def scenario_grid(
     name_prefix: str,
     designs: Sequence[str] = DESIGNS,
@@ -182,51 +228,52 @@ def scenario_grid(
     spreads: Sequence[float] = (),
     goal_distances: Sequence[float] = (),
     worlds: Sequence[Any] = (),
+    n_drones: Sequence[int] = (),
     base_environment: Optional[EnvironmentConfig] = None,
     mission: Optional[MissionConfig] = None,
     faults: Optional[FaultSet] = None,
     base_seed: int = 0,
 ) -> List[ScenarioSpec]:
-    """Build the cartesian sweep of designs × worlds × environment knob values.
+    """Build the cartesian sweep of designs × worlds × fleet sizes × knobs.
 
     Empty knob lists fall back to the base environment's value, so a caller
     can sweep any subset of the three paper knobs (density, spread, goal
     distance).  ``worlds`` adds the archetype axis: each entry is a
     :class:`~repro.worlds.spec.WorldSpec`, an archetype name or a spec
     dictionary; an empty list means the default paper corridor, and spec
-    names then stay identical to the pre-worlds grid.  Every spec receives
-    a distinct, deterministic seed (``base_seed + index``), so the grid is
-    reproducible mission by mission.
+    names then stay identical to the pre-worlds grid.  ``n_drones`` adds the
+    fleet axis the same way: an empty list means single-drone missions with
+    unchanged names.  Every spec receives a distinct, deterministic seed
+    (``base_seed + index``), so the grid is reproducible mission by mission.
     """
     base_env = base_environment or EnvironmentConfig()
     density_values = tuple(densities) or (base_env.obstacle_density,)
     spread_values = tuple(spreads) or (base_env.obstacle_spread,)
     goal_values = tuple(goal_distances) or (base_env.goal_distance,)
     world_values = tuple(_coerce_world(w) for w in worlds) or (WorldSpec(),)
-    # Archetype names appear in spec names only when worlds are swept, so
-    # the default grid's names (and trace-file names) are unchanged.  When
-    # the same archetype appears more than once (different params/seeds/
-    # movers), an ordinal keeps the names — and therefore the per-spec
-    # trace files — distinct.
+    fleet_values = tuple(int(n) for n in n_drones) or (1,)
+    # Axis labels appear in spec names only when the axis is swept, so the
+    # default grid's names (and trace-file names) are unchanged.  When the
+    # same label appears more than once on an axis (e.g. two forest variants
+    # with different params, or a repeated fleet size), _ordinal_tags keeps
+    # the names — and therefore the per-spec trace files — distinct.
     name_worlds = bool(worlds)
-    archetype_counts: Dict[str, int] = {}
-    for world in world_values:
-        archetype_counts[world.archetype] = archetype_counts.get(world.archetype, 0) + 1
-    tagged_worlds: List[tuple] = []
-    seen: Dict[str, int] = {}
-    for world in world_values:
-        if archetype_counts[world.archetype] > 1:
-            ordinal = seen.get(world.archetype, 0)
-            seen[world.archetype] = ordinal + 1
-            tagged_worlds.append((world, f"{world.archetype}{ordinal}"))
-        else:
-            tagged_worlds.append((world, world.archetype))
+    name_fleets = bool(n_drones)
+    tagged_worlds = list(
+        zip(world_values, _ordinal_tags([w.archetype for w in world_values]))
+    )
+    tagged_fleets = list(
+        zip(fleet_values, _ordinal_tags([f"fleet{n}" for n in fleet_values]))
+    )
 
     specs: List[ScenarioSpec] = []
     combos = itertools.product(
-        designs, tagged_worlds, density_values, spread_values, goal_values
+        designs, tagged_worlds, tagged_fleets, density_values, spread_values,
+        goal_values,
     )
-    for index, (design, (world, tag), density, spread, goal) in enumerate(combos):
+    for index, (
+        design, (world, tag), (fleet, fleet_label), density, spread, goal,
+    ) in enumerate(combos):
         environment = replace(
             base_env,
             obstacle_density=density,
@@ -234,9 +281,10 @@ def scenario_grid(
             goal_distance=goal,
         )
         world_tag = f"_{tag}" if name_worlds else ""
+        fleet_tag = f"_{fleet_label}" if name_fleets else ""
         spec = ScenarioSpec(
             name=(
-                f"{name_prefix}_{design}{world_tag}"
+                f"{name_prefix}_{design}{world_tag}{fleet_tag}"
                 f"_den{density:g}_spr{spread:g}_goal{goal:g}"
             ),
             design=design,
@@ -244,6 +292,7 @@ def scenario_grid(
             mission=mission or MissionConfig(),
             faults=faults or FaultSet(),
             world=world,
+            n_drones=fleet,
         ).seeded(base_seed + index)
         specs.append(spec)
     return specs

@@ -197,8 +197,12 @@ class DynamicObstacleSet:
         self.movers: List[KinematicMover] = list(movers)
         self.world = world
         self.epoch: Optional[int] = None
-        # Octree voxel keys currently marked per mover, for exact un-marking.
-        self._marked: Dict[str, List[Tuple[int, int, int]]] = {}
+        # Octree voxel keys currently marked, per octree then per mover, for
+        # exact un-marking.  Keyed by id(octree) because a fleet steps one
+        # mover set against N octomaps (one per drone) and each must track
+        # its own footprints.  The octrees outlive this set (both belong to
+        # the mission), so id reuse is not a concern in practice.
+        self._marked: Dict[int, Dict[str, List[Tuple[int, int, int]]]] = {}
         self.last_step_stats: Dict[str, int] = {}
 
     def __len__(self) -> int:
@@ -230,16 +234,17 @@ class DynamicObstacleSet:
             "voxels_cleared": 0,
         }
         if octree is not None:
+            marked = self._marked.setdefault(id(octree), {})
             # Two passes: clear every mover's old footprint before marking any
             # new one.  Interleaving would let a later mover's clear erase a
             # voxel an earlier mover just marked where their paths cross.
             for mover in self.movers:
-                previous = self._marked.get(mover.name)
+                previous = marked.get(mover.name)
                 if previous:
                     stats["voxels_cleared"] += octree.clear_cells(previous)
             for mover, box in zip(self.movers, boxes):
                 keys = octree.mark_box(box)
-                self._marked[mover.name] = keys
+                marked[mover.name] = keys
                 stats["voxels_marked"] += len(keys)
                 stats["remarked"] += 1
         self.epoch = epoch
