@@ -1,0 +1,127 @@
+"""Perf regression gate: fresh ``BENCH_*.json`` vs the committed baselines.
+
+The CI perf-smoke job regenerates the perf suites with ``BENCH_OUT_DIR``
+pointing at a scratch directory, then runs this script to compare every
+comparable metric (keys ending in ``_per_s`` or ``_speedup`` — see
+``bench_io.COMPARABLE_SUFFIXES``) against the baselines committed in the repo
+root.  A metric that drops more than the threshold (default 30%) fails the
+job; metrics that improved or moved within the band pass.
+
+Skips gracefully (exit 0) when a baseline file does not exist yet, so the
+gate can be enabled before the first baselines land — and so deleting a
+stale baseline (e.g. after a deliberate benchmark redesign) disarms the gate
+for one PR instead of blocking it.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py --fresh-dir bench_fresh \
+        [--baseline-dir .] [--threshold 0.30] [--suite fleet ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_io import REPO_ROOT, comparable_metrics, read_bench  # noqa: E402
+
+DEFAULT_SUITES = ("fleet", "spatial", "worldgen")
+DEFAULT_THRESHOLD = 0.30
+
+
+def compare_suite(suite, baseline_dir, fresh_dir, threshold):
+    """Compare one suite; returns (regressions, lines) for the report."""
+    baseline_path = Path(baseline_dir) / f"BENCH_{suite}.json"
+    fresh_path = Path(fresh_dir) / f"BENCH_{suite}.json"
+    if not baseline_path.exists():
+        return [], [f"[{suite}] no committed baseline at {baseline_path} — skipped"]
+    if not fresh_path.exists():
+        # A missing fresh file means the suite did not run; that is a harness
+        # problem, not a perf regression, and must not pass silently.
+        return (
+            [f"[{suite}] fresh results missing at {fresh_path}"],
+            [f"[{suite}] fresh results missing at {fresh_path} — FAIL"],
+        )
+
+    baseline = comparable_metrics(read_bench(baseline_path).get("results", {}))
+    fresh = comparable_metrics(read_bench(fresh_path).get("results", {}))
+
+    regressions = []
+    lines = []
+    for key in sorted(baseline):
+        base = baseline[key]
+        if key not in fresh:
+            regressions.append(f"[{suite}] {key}: present in baseline, missing fresh")
+            lines.append(f"[{suite}] {key}: missing from fresh results — FAIL")
+            continue
+        new = fresh[key]
+        if base <= 0:
+            lines.append(f"[{suite}] {key}: baseline {base:.4g} non-positive — skipped")
+            continue
+        ratio = new / base
+        status = "ok" if ratio >= 1.0 - threshold else "REGRESSION"
+        lines.append(
+            f"[{suite}] {key}: baseline {base:.4g} -> fresh {new:.4g} "
+            f"({ratio:.2f}x) {status}"
+        )
+        if status == "REGRESSION":
+            regressions.append(
+                f"[{suite}] {key} fell {100 * (1 - ratio):.1f}% "
+                f"({base:.4g} -> {new:.4g}), threshold {100 * threshold:.0f}%"
+            )
+    if not baseline:
+        lines.append(f"[{suite}] baseline has no comparable metrics — skipped")
+    return regressions, lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh-dir",
+        required=True,
+        help="directory holding the freshly generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(REPO_ROOT),
+        help="directory holding the committed baselines (default: repo root)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="maximum tolerated fractional drop (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--suite",
+        action="append",
+        choices=DEFAULT_SUITES,
+        help="suite(s) to check (default: all three)",
+    )
+    args = parser.parse_args(argv)
+
+    suites = tuple(args.suite) if args.suite else DEFAULT_SUITES
+    all_regressions = []
+    for suite in suites:
+        regressions, lines = compare_suite(
+            suite, args.baseline_dir, args.fresh_dir, args.threshold
+        )
+        for line in lines:
+            print(line)
+        all_regressions.extend(regressions)
+
+    if all_regressions:
+        print(f"\n{len(all_regressions)} perf regression(s) beyond the gate:")
+        for item in all_regressions:
+            print("  " + item)
+        return 1
+    print("\nperf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,11 +12,10 @@ drop in decisions/sec.
 Run with ``-s`` to see the scaling table.
 """
 
-import json
 import time
-from pathlib import Path
 
 import pytest
+from bench_io import write_bench
 from conftest import BENCH_ENV, print_table
 
 from repro import FleetSimulator, MissionConfig, build_environment
@@ -28,8 +27,6 @@ FLEET_SIZES = (1, 2, 4)
 # Trimmed mission: enough decisions for stable timing, small enough that the
 # three fleet runs stay within the suite's minutes-of-pure-Python budget.
 FLEET_MISSION = MissionConfig(max_decisions=120, max_mission_time_s=400.0)
-
-RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
 
 
 @pytest.mark.slow
@@ -59,22 +56,17 @@ def test_fleet_throughput_scaling():
         }
 
     print_table("Fleet throughput (decisions/sec vs fleet size)", rows)
-    RESULT_PATH.write_text(
-        json.dumps(
-            {
-                "benchmark": "fleet_throughput",
-                "environment_seed": BENCH_ENV.seed,
-                "mission": {
-                    "max_decisions": FLEET_MISSION.max_decisions,
-                    "max_mission_time_s": FLEET_MISSION.max_mission_time_s,
-                },
-                "fleet_sizes": list(FLEET_SIZES),
-                "results": results,
+    path = write_bench(
+        "fleet",
+        results,
+        timestamp=time.time(),
+        config={
+            "environment_seed": BENCH_ENV.seed,
+            "mission": {
+                "max_decisions": FLEET_MISSION.max_decisions,
+                "max_mission_time_s": FLEET_MISSION.max_mission_time_s,
             },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n",
-        encoding="utf-8",
+            "fleet_sizes": list(FLEET_SIZES),
+        },
     )
-    assert RESULT_PATH.exists()
+    assert path.exists()

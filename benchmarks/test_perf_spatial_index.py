@@ -15,6 +15,8 @@ Run with ``-s`` to see the timing table.
 import random
 import time
 
+import pytest
+from bench_io import write_bench
 from conftest import print_table
 
 from repro.geometry.grid import voxel_center
@@ -125,6 +127,7 @@ def best_of(callable_, rounds):
     return best
 
 
+@pytest.mark.slow
 def test_spatial_index_speedups():
     octree = build_map()
     occupied = octree.occupied_keys()
@@ -151,12 +154,12 @@ def test_spatial_index_speedups():
     # once because a single pass already takes seconds at this scale — which
     # is the point of the index.
     t_nearest_new = best_of(
-        lambda: [octree.nearest_occupied_distance(q, 40.0) for q in queries], 3
+        lambda: [octree.nearest_occupied_distance(q, 40.0) for q in queries], 5
     )
     t_nearest_old = best_of(lambda: [legacy_nearest(occupied, q, 40.0) for q in queries], 2)
-    t_coarse_new = best_of(lambda: octree.coarse_occupied_cells(2.4), 5)
+    t_coarse_new = best_of(lambda: octree.coarse_occupied_cells(2.4), 7)
     t_coarse_old = best_of(lambda: legacy_coarse(occupied, 3), 3)
-    t_tree_new = best_of(octree.build_tree, 3)
+    t_tree_new = best_of(octree.build_tree, 7)
     t_tree_old = best_of(lambda: legacy_build_tree(occupied), 1)
 
     rows = [
@@ -182,6 +185,37 @@ def test_spatial_index_speedups():
     ]
     print_table(
         f"Spatial index vs linear rescans ({len(occupied)} occupied voxels)", rows
+    )
+
+    write_bench(
+        "spatial",
+        {
+            "nearest": {
+                "legacy_s": t_nearest_old,
+                "indexed_s": t_nearest_new,
+                "queries_per_s": len(queries) / t_nearest_new,
+                "index_speedup": t_nearest_old / t_nearest_new,
+            },
+            "coarsen": {
+                "legacy_s": t_coarse_old,
+                "indexed_s": t_coarse_new,
+                "queries_per_s": 1.0 / t_coarse_new,
+                "index_speedup": t_coarse_old / t_coarse_new,
+            },
+            "build_tree": {
+                "legacy_s": t_tree_old,
+                "indexed_s": t_tree_new,
+                "queries_per_s": 1.0 / t_tree_new,
+                "index_speedup": t_tree_old / t_tree_new,
+            },
+        },
+        timestamp=time.time(),
+        config={
+            "occupied_voxels": len(occupied),
+            "vox_min": VOX_MIN,
+            "levels": LEVELS,
+            "nearest_queries": len(queries),
+        },
     )
 
     assert t_nearest_old / t_nearest_new >= MIN_SPEEDUP

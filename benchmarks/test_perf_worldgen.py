@@ -16,7 +16,7 @@ Run with ``-s`` to see the per-archetype table.
 import time
 
 import pytest
-
+from bench_io import write_bench
 from conftest import print_table
 
 from repro import EnvironmentConfig, WorldSpec, build_environment
@@ -36,6 +36,7 @@ MIN_WORLDS_PER_SECOND = 1.0
 def test_worldgen_throughput():
     rows = [["archetype", "obstacles", "field_samples", "worlds_per_s"]]
     failures = []
+    results = {}
     for name in archetype_names():
         spec = WorldSpec(archetype=name)
         # Warm-up build, also used for the determinism spot check.
@@ -55,7 +56,22 @@ def test_worldgen_throughput():
                 round(worlds_per_second, 1),
             ]
         )
+        results[name] = {
+            "obstacles": environment.world.obstacle_count(),
+            "field_samples": len(environment.heterogeneity.samples),
+            "worlds_per_s": worlds_per_second,
+        }
         if worlds_per_second < MIN_WORLDS_PER_SECOND:
             failures.append((name, worlds_per_second))
     print_table("World generation throughput", rows)
+    write_bench(
+        "worldgen",
+        results,
+        timestamp=time.time(),
+        config={
+            "environment_seed": BENCH_ENV.seed,
+            "obstacle_density": BENCH_ENV.obstacle_density,
+            "repeats": REPEATS,
+        },
+    )
     assert not failures, f"archetypes below {MIN_WORLDS_PER_SECOND}/s: {failures}"

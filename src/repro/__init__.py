@@ -64,7 +64,7 @@ from repro.worlds import (
     register_archetype,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.7.0"
 
 __all__ = [
     "CameraDegradation",

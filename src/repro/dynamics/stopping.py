@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.dynamics.drone import QuadrotorKinematics
 
 # Published Eq. 2 coefficients (quadratic, linear, constant).
@@ -91,8 +93,6 @@ class StoppingDistanceModel:
 
 def _fit_quadratic(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
     """Least-squares fit of ``y = a x^2 + b x + c`` via the normal equations."""
-    import numpy as np
-
     design = np.vstack([np.square(xs), xs, np.ones(len(xs))]).T
     coeffs, *_ = np.linalg.lstsq(design, np.asarray(ys, dtype=float), rcond=None)
     return float(coeffs[0]), float(coeffs[1]), float(coeffs[2])

@@ -18,9 +18,42 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.geometry.aabb import AABB
 from repro.geometry.ray import Ray, ray_aabb_intersect, segment_intersects_aabb
 from repro.geometry.vec3 import Vec3
+
+
+def _corner_arrays(obstacles: Sequence[Obstacle]) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack obstacle boxes into contiguous ``(N, 3)`` min/max corner arrays."""
+    n = len(obstacles)
+    lo = np.empty((n, 3), dtype=np.float64)
+    hi = np.empty((n, 3), dtype=np.float64)
+    for row, obstacle in enumerate(obstacles):
+        box = obstacle.box
+        lo[row, 0] = box.min_corner.x
+        lo[row, 1] = box.min_corner.y
+        lo[row, 2] = box.min_corner.z
+        hi[row, 0] = box.max_corner.x
+        hi[row, 1] = box.max_corner.y
+        hi[row, 2] = box.max_corner.z
+    return lo, hi
+
+
+def _boxes_distance_to_point(
+    lo: np.ndarray, hi: np.ndarray, point: Vec3
+) -> np.ndarray:
+    """Surface distance from each box to a point (0 when inside), batched.
+
+    Reproduces ``AABB.distance_to_point`` per box: clamp the point to the box
+    then take the euclidean distance, with the same left-to-right summation
+    order as ``Vec3.distance_to`` so results are bit-identical.
+    """
+    p = np.array((point.x, point.y, point.z), dtype=np.float64)
+    closest = np.minimum(np.maximum(p, lo), hi)
+    d = closest - p
+    return np.sqrt((d[:, 0] * d[:, 0] + d[:, 1] * d[:, 1]) + d[:, 2] * d[:, 2])
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,6 +103,13 @@ class World:
         self._hash: dict[Tuple[int, int], List[int]] = {}
         self._dynamic: List[Obstacle] = []
         self._agents: List[Obstacle] = []
+        # Lazily rebuilt corner-array snapshots.  The static snapshot changes
+        # only when obstacles are added (construction time); the unhashed
+        # (mover + agent) snapshot is invalidated when a layer is replaced —
+        # once per decision epoch — so batched queries pay one stacking pass
+        # per epoch rather than a Python loop per probe.
+        self._static_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._unhashed_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
         for obstacle in obstacles or []:
             self.add_obstacle(obstacle)
 
@@ -80,6 +120,7 @@ class World:
         """Add an obstacle, indexing it in the spatial hash."""
         index = len(self._obstacles)
         self._obstacles.append(obstacle)
+        self._static_arrays = None
         for key in self._hash_keys_for_box(obstacle.box):
             self._hash.setdefault(key, []).append(index)
 
@@ -118,6 +159,7 @@ class World:
         small and scanned linearly, so no re-hashing happens.
         """
         self._dynamic = list(obstacles)
+        self._unhashed_arrays = None
 
     @property
     def dynamic_obstacles(self) -> Sequence[Obstacle]:
@@ -137,6 +179,7 @@ class World:
         missions, so they pay nothing.
         """
         self._agents = list(obstacles)
+        self._unhashed_arrays = None
 
     @property
     def agent_obstacles(self) -> Sequence[Obstacle]:
@@ -148,6 +191,22 @@ class World:
         if not self._agents:
             return self._dynamic
         return self._dynamic + self._agents
+
+    def _unhashed_corner_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The memoised per-epoch snapshot of the mover + agent boxes."""
+        arrays = self._unhashed_arrays
+        if arrays is None:
+            arrays = _corner_arrays(self._unhashed_obstacles())
+            self._unhashed_arrays = arrays
+        return arrays
+
+    def _static_corner_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Corner arrays for every static obstacle, rebuilt only on insertion."""
+        arrays = self._static_arrays
+        if arrays is None:
+            arrays = _corner_arrays(self._obstacles)
+            self._static_arrays = arrays
+        return arrays
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -172,6 +231,28 @@ class World:
             if obstacle.box.distance_to_point(point) <= radius
         )
         return result
+
+    def obstacle_arrays_near(
+        self, point: Vec3, radius: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Corner arrays of :meth:`obstacles_near`'s candidates, stacked.
+
+        The batched twin used by the vectorised depth camera: the same static
+        hash candidates plus the same distance-filtered mover/agent boxes, but
+        returned as two ``(K, 3)`` min/max corner arrays sliced out of the
+        memoised snapshots instead of a list of :class:`Obstacle` objects.
+        """
+        static_lo, static_hi = self._static_corner_arrays()
+        indices = self._candidate_indices(point, radius)
+        lo = static_lo[indices]
+        hi = static_hi[indices]
+        if self._dynamic or self._agents:
+            dyn_lo, dyn_hi = self._unhashed_corner_arrays()
+            near = _boxes_distance_to_point(dyn_lo, dyn_hi, point) <= radius
+            if near.any():
+                lo = np.concatenate([lo, dyn_lo[near]])
+                hi = np.concatenate([hi, dyn_hi[near]])
+        return lo, hi
 
     def obstacle_count(self) -> int:
         """Number of static obstacles."""

@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.geometry.aabb import AABB
 from repro.geometry.grid import VoxelKey, voxel_key
 from repro.geometry.vec3 import Vec3
@@ -82,6 +84,64 @@ def ray_aabb_intersect(ray: Ray, box: AABB) -> Optional[Tuple[float, float]]:
     if t_max < 0:
         return None
     return (t_min, t_max)
+
+
+def raycast_aabbs_batch(
+    origin: Vec3,
+    directions: np.ndarray,
+    box_lo: np.ndarray,
+    box_hi: np.ndarray,
+    max_range: float,
+) -> np.ndarray:
+    """Nearest entry distance per ray against a stack of boxes, batched.
+
+    The vectorised twin of looping :func:`ray_aabb_intersect` over obstacles
+    per ray (the depth camera's inner loop): one slab test over the whole
+    ``(R rays, O boxes, 3 axes)`` block.  Elementwise arithmetic reproduces
+    the scalar routine operation for operation, so the returned depths are
+    bit-identical to the scalar loop's.
+
+    Args:
+        origin: shared ray origin (one sensor pose).
+        directions: ``(R, 3)`` float64 ray directions (need not be unit).
+        box_lo: ``(O, 3)`` float64 minimum corners.
+        box_hi: ``(O, 3)`` float64 maximum corners.
+        max_range: depths beyond this report ``inf`` (nothing sensed).
+
+    Returns:
+        ``(R,)`` float64 array: ``max(t_enter, 0)`` of the closest box hit
+        with ``t_exit >= 0``, or ``inf`` when no box is hit within range.
+    """
+    rays = np.asarray(directions, dtype=np.float64)
+    lo = np.asarray(box_lo, dtype=np.float64)
+    hi = np.asarray(box_hi, dtype=np.float64)
+    if lo.shape[0] == 0:
+        return np.full(rays.shape[0], math.inf)
+    o = np.array((origin.x, origin.y, origin.z), dtype=np.float64)
+
+    d = rays[:, None, :]  # (R, 1, 3)
+    lo_rel = lo[None, :, :] - o  # (1, O, 3)
+    hi_rel = hi[None, :, :] - o
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t1 = lo_rel / d  # (R, O, 3)
+        t2 = hi_rel / d
+    near = np.minimum(t1, t2)
+    far = np.maximum(t1, t2)
+
+    # Axes the ray runs parallel to contribute no constraint when the origin
+    # lies inside the slab and an immediate miss otherwise — the same two
+    # branches the scalar slab test takes for abs(d) < eps.
+    parallel = np.abs(d) < _EPS  # (R, 1, 3) broadcast over boxes
+    inside = (lo_rel <= 0.0) & (hi_rel >= 0.0)  # origin within the slab
+    near = np.where(parallel, np.where(inside, -np.inf, np.inf), near)
+    far = np.where(parallel, np.where(inside, np.inf, -np.inf), far)
+
+    t_enter = near.max(axis=2)  # (R, O)
+    t_exit = far.min(axis=2)
+    hit = (t_enter <= t_exit) & (t_exit >= 0.0)
+    entry = np.where(hit, np.maximum(t_enter, 0.0), np.inf)
+    nearest = entry.min(axis=1)  # (R,)
+    return np.where(nearest > max_range, np.inf, nearest)
 
 
 def segment_intersects_aabb(start: Vec3, end: Vec3, box: AABB) -> bool:

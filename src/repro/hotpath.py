@@ -1,0 +1,59 @@
+"""Global switch between the vectorised hot path and its scalar twins.
+
+Every vectorised routine in the reproduction keeps its original scalar
+implementation as the *reference twin*: the scalar code is what the paper's
+semantics were validated against, and the batched numpy code must return
+bit-identical results (the golden mission-metric tests enforce this on the
+benchmark seed).  This module holds the one flag that selects between them.
+
+The vectorised path is the default.  Tests flip to the scalar twins with
+:func:`scalar_mode` to prove equivalence end to end::
+
+    from repro import hotpath
+
+    with hotpath.scalar_mode():
+        result = MissionSimulator(...).run()   # pure-Python reference
+
+Setting the environment variable ``REPRO_SCALAR=1`` before import forces the
+scalar path for a whole process (useful for A/B profiling runs).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: When True (default), hot-path queries run their batched numpy
+#: implementations; when False, every dual-path routine falls back to its
+#: scalar reference twin.
+VECTORIZED: bool = os.environ.get("REPRO_SCALAR", "") not in ("1", "true", "yes")
+
+
+def enabled() -> bool:
+    """True when the vectorised hot path is active."""
+    return VECTORIZED
+
+
+@contextmanager
+def scalar_mode() -> Iterator[None]:
+    """Run the body on the scalar reference twins (restores the flag after)."""
+    global VECTORIZED
+    previous = VECTORIZED
+    VECTORIZED = False
+    try:
+        yield
+    finally:
+        VECTORIZED = previous
+
+
+@contextmanager
+def vectorized_mode() -> Iterator[None]:
+    """Force the vectorised path (used by tests that toggle both ways)."""
+    global VECTORIZED
+    previous = VECTORIZED
+    VECTORIZED = True
+    try:
+        yield
+    finally:
+        VECTORIZED = previous

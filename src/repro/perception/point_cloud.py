@@ -15,6 +15,10 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import numpy as np
+
+from repro import hotpath
+from repro.geometry.aabb import AABB
 from repro.geometry.grid import downsample_points
 from repro.geometry.vec3 import Vec3, centroid
 from repro.sensors.rig import RigScan
@@ -37,6 +41,12 @@ class PointCloud:
     points: tuple[Vec3, ...]
     raw_point_count: int
     resolution: float
+    _array: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _origin_distances: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.points)
@@ -44,6 +54,35 @@ class PointCloud:
     def is_empty(self) -> bool:
         """True when no obstacle points were observed."""
         return not self.points
+
+    def as_array(self) -> np.ndarray:
+        """The points as a cached, contiguous ``(N, 3)`` float64 array."""
+        array = self._array
+        if array is None:
+            array = np.array(
+                [(p.x, p.y, p.z) for p in self.points], dtype=np.float64
+            ).reshape(len(self.points), 3)
+            object.__setattr__(self, "_array", array)
+        return array
+
+    def origin_distances(self) -> np.ndarray:
+        """Cached per-point distance to the sensor origin, ``(N,)`` float64.
+
+        Computed with the same left-to-right summation order as
+        ``Vec3.distance_to`` so every entry equals the scalar distance bit
+        for bit.
+        """
+        distances = self._origin_distances
+        if distances is None:
+            pts = self.as_array()
+            d = pts - np.array(
+                (self.origin.x, self.origin.y, self.origin.z), dtype=np.float64
+            )
+            distances = np.sqrt(
+                (d[:, 0] * d[:, 0] + d[:, 1] * d[:, 1]) + d[:, 2] * d[:, 2]
+            )
+            object.__setattr__(self, "_origin_distances", distances)
+        return distances
 
     def nearest_distance(self) -> float:
         """Distance from the origin to the closest observed point.
@@ -53,6 +92,8 @@ class PointCloud:
         """
         if not self.points:
             return math.inf
+        if hotpath.enabled():
+            return float(self.origin_distances().min())
         return min(self.origin.distance_to(p) for p in self.points)
 
     def centroid(self) -> Optional[Vec3]:
@@ -63,14 +104,15 @@ class PointCloud:
 
     def points_within(self, radius: float) -> List[Vec3]:
         """Points within ``radius`` metres of the sensor origin."""
+        if hotpath.enabled() and self.points:
+            mask = self.origin_distances() <= radius
+            return [self.points[i] for i in np.flatnonzero(mask)]
         return [p for p in self.points if self.origin.distance_to(p) <= radius]
 
     def bounding_volume(self) -> float:
         """Volume (m^3) of the axis-aligned box containing all points (0 when < 2 points)."""
         if len(self.points) < 2:
             return 0.0
-        from repro.geometry.aabb import AABB
-
         return AABB.from_points(list(self.points)).volume
 
 

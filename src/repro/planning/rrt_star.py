@@ -21,11 +21,21 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro import hotpath
 from repro.geometry.aabb import AABB
 from repro.geometry.grid import voxel_key
 from repro.geometry.vec3 import Vec3
 from repro.perception.planning_view import PlanningView
-from repro.perception.spatial_index import point_hits_cells, segment_hits_cells
+from repro.perception.spatial_index import (
+    PackedCellTable,
+    cell_margin_radius,
+    point_hits_cells,
+    segment_hits_cells,
+)
+
+_EPS = 1e-12
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,6 +136,7 @@ class _CollisionChecker:
         self.margin = margin
         self.step = ray_step if ray_step is not None else view.precision
         self.samples = 0
+        self._table = PackedCellTable(view.cells) if hotpath.enabled() else None
 
     def point(self, point: Vec3) -> bool:
         self.samples += 1
@@ -136,9 +147,74 @@ class _CollisionChecker:
         if effective <= 0:
             effective = self.precision
         self.samples += int(start.distance_to(end) / max(effective, 1e-6)) + 2
+        if self._table is not None:
+            return self._segment_batched(start, end)
         return segment_hits_cells(
             self.cells, self.precision, start, end, self.step, self.margin
         )
+
+    def _segment_batched(self, start: Vec3, end: Vec3) -> bool:
+        """One membership pass over every probe of one segment.
+
+        Probe parameters are accumulated with :func:`np.cumsum` (a sequential
+        reduction matching the scalar ``t += step`` floats exactly) and the
+        same strict ``t < length`` cut-off and end-point probe apply, so the
+        verdict is bit-identical to :func:`segment_hits_cells`.
+        """
+        table = self._table
+        if table is None or table.size == 0:
+            return False
+        res = self.precision
+        effective = min(self.step, res)
+        sx, sy, sz = start.x, start.y, start.z
+        dx, dy, dz = end.x - sx, end.y - sy, end.z - sz
+        length = math.sqrt(dx * dx + dy * dy + dz * dz)
+        if effective <= 0 or length <= _EPS:
+            return segment_hits_cells(
+                self.cells, res, start, end, self.step, self.margin
+            )
+        max_probes = int(length / effective) + 2
+        ts = np.concatenate(
+            ([0.0], np.cumsum(np.full(max_probes, effective, dtype=np.float64)))
+        )
+        ts = ts[ts < length]
+        unit = np.array((dx / length, dy / length, dz / length))
+        p = np.empty((ts.shape[0] + 1, 3), dtype=np.float64)
+        p[:-1] = np.array((sx, sy, sz)) + unit[None, :] * ts[:, None]
+        p[-1] = (end.x, end.y, end.z)
+        keys = np.floor(p / res).astype(np.int64)
+        radius = cell_margin_radius(self.margin, res)
+        return bool(table.contains_batch(keys, radius).any())
+
+
+class _PositionBuffer:
+    """Growable ``(N, 3)`` array mirroring the RRT* node positions.
+
+    Keeps the nearest-node and rewire-neighbourhood scans — executed once per
+    sampling iteration over every node so far — as single vectorised distance
+    passes instead of per-node ``Vec3`` arithmetic.
+    """
+
+    __slots__ = ("data", "count")
+
+    def __init__(self, start: Vec3) -> None:
+        self.data = np.empty((64, 3), dtype=np.float64)
+        self.count = 0
+        self.append(start)
+
+    def append(self, position: Vec3) -> None:
+        if self.count == self.data.shape[0]:
+            grown = np.empty((self.data.shape[0] * 2, 3), dtype=np.float64)
+            grown[: self.count] = self.data
+            self.data = grown
+        self.data[self.count] = (position.x, position.y, position.z)
+        self.count += 1
+
+    def distances_to(self, point: Vec3) -> np.ndarray:
+        """Distance from every stored node to ``point``, matching
+        ``Vec3.distance_to``'s summation order bit for bit."""
+        d = self.data[: self.count] - np.array((point.x, point.y, point.z))
+        return np.sqrt((d[:, 0] * d[:, 0] + d[:, 1] * d[:, 1]) + d[:, 2] * d[:, 2])
 
 
 class RRTStarPlanner:
@@ -193,6 +269,7 @@ class RRTStarPlanner:
                 )
 
         nodes: List[_TreeNode] = [_TreeNode(position=start, parent=None, cost=0.0)]
+        positions = _PositionBuffer(start) if hotpath.enabled() else None
         explored_cells: Set[Tuple[int, int, int]] = {
             voxel_key(start, cfg.exploration_cell)
         }
@@ -212,7 +289,7 @@ class RRTStarPlanner:
 
             sample = self._sample(rng, goal, bounds, cfg)
 
-            nearest_index = self._nearest(nodes, sample)
+            nearest_index = self._nearest(nodes, sample, positions)
             new_position = self._steer(nodes[nearest_index].position, sample, cfg.step_size)
             if not bounds.contains(new_position):
                 new_position = bounds.clamp_point(new_position)
@@ -222,7 +299,7 @@ class RRTStarPlanner:
                 continue
 
             new_index = self._insert_with_rewire(
-                nodes, new_position, nearest_index, checker, cfg
+                nodes, new_position, nearest_index, checker, cfg, positions
             )
             explored_cells.add(voxel_key(new_position, cfg.exploration_cell))
 
@@ -230,6 +307,8 @@ class RRTStarPlanner:
                 if not checker.segment(new_position, goal):
                     goal_cost = nodes[new_index].cost + new_position.distance_to(goal)
                     nodes.append(_TreeNode(position=goal, parent=new_index, cost=goal_cost))
+                    if positions is not None:
+                        positions.append(goal)
                     goal_node_index = len(nodes) - 1
                 else:
                     goal_node_index = new_index
@@ -289,7 +368,15 @@ class RRTStarPlanner:
         )
 
     @staticmethod
-    def _nearest(nodes: Sequence[_TreeNode], sample: Vec3) -> int:
+    def _nearest(
+        nodes: Sequence[_TreeNode],
+        sample: Vec3,
+        positions: Optional[_PositionBuffer] = None,
+    ) -> int:
+        if positions is not None:
+            # argmin returns the first occurrence of the minimum, matching
+            # the scalar loop's strict-< update rule.
+            return int(np.argmin(positions.distances_to(sample)))
         best_index = 0
         best_dist = math.inf
         for index, node in enumerate(nodes):
@@ -314,17 +401,35 @@ class RRTStarPlanner:
         nearest_index: int,
         checker: _CollisionChecker,
         cfg: RRTStarConfig,
+        positions: Optional[_PositionBuffer] = None,
     ) -> int:
-        # Choose the lowest-cost parent within the rewiring radius.
-        neighbour_indices = [
-            i
-            for i, node in enumerate(nodes)
-            if node.position.distance_to(position) <= cfg.rewire_radius
-        ]
+        # Choose the lowest-cost parent within the rewiring radius.  The
+        # distance scan is the vectorisable part; the conditional collision
+        # probes must stay a sequential short-circuit loop because the
+        # checker's sample counter (charged by the compute model) depends on
+        # exactly which segments get probed.
+        if positions is not None:
+            distances = positions.distances_to(position)
+            neighbour_indices = [
+                int(i) for i in np.flatnonzero(distances <= cfg.rewire_radius)
+            ]
+            best_cost = nodes[nearest_index].cost + float(distances[nearest_index])
+        else:
+            distances = None
+            neighbour_indices = [
+                i
+                for i, node in enumerate(nodes)
+                if node.position.distance_to(position) <= cfg.rewire_radius
+            ]
+            best_cost = nodes[nearest_index].cost + nodes[
+                nearest_index
+            ].position.distance_to(position)
         best_parent = nearest_index
-        best_cost = nodes[nearest_index].cost + nodes[nearest_index].position.distance_to(position)
         for i in neighbour_indices:
-            candidate_cost = nodes[i].cost + nodes[i].position.distance_to(position)
+            if distances is not None:
+                candidate_cost = nodes[i].cost + float(distances[i])
+            else:
+                candidate_cost = nodes[i].cost + nodes[i].position.distance_to(position)
             if candidate_cost < best_cost and not checker.segment(
                 nodes[i].position, position
             ):
@@ -332,11 +437,18 @@ class RRTStarPlanner:
                 best_cost = candidate_cost
 
         nodes.append(_TreeNode(position=position, parent=best_parent, cost=best_cost))
+        if positions is not None:
+            positions.append(position)
         new_index = len(nodes) - 1
 
         # Rewire neighbours through the new node when it shortens their cost.
+        # Vec3.distance_to is exactly symmetric (the squared differences are
+        # sign-insensitive), so the precomputed distances serve both passes.
         for i in neighbour_indices:
-            through_new = best_cost + position.distance_to(nodes[i].position)
+            if distances is not None:
+                through_new = best_cost + float(distances[i])
+            else:
+                through_new = best_cost + position.distance_to(nodes[i].position)
             if through_new < nodes[i].cost and not checker.segment(
                 position, nodes[i].position
             ):

@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro import hotpath
 from repro.environment.world import World
 from repro.geometry.frustum import Frustum
-from repro.geometry.ray import Ray, ray_aabb_intersect
+from repro.geometry.ray import Ray, ray_aabb_intersect, raycast_aabbs_batch
 from repro.geometry.vec3 import Vec3
 
 
@@ -40,6 +43,9 @@ class DepthImage:
     max_range: float
     width: int
     height: int
+    _dir_array: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.directions) != len(self.depths):
@@ -49,6 +55,14 @@ class DepthImage:
 
     def hit_points(self) -> List[Vec3]:
         """World-space 3-D points for every pixel that hit an obstacle."""
+        if hotpath.enabled() and self._dir_array is not None:
+            depths = np.array(self.depths, dtype=np.float64)
+            idx = np.flatnonzero(np.isfinite(depths))
+            if idx.size == 0:
+                return []
+            o = np.array((self.origin.x, self.origin.y, self.origin.z))
+            pts = o + self._dir_array[idx] * depths[idx][:, None]
+            return [Vec3(x, y, z) for x, y, z in pts.tolist()]
         points = []
         for direction, depth in zip(self.directions, self.depths):
             if math.isfinite(depth):
@@ -105,6 +119,10 @@ class DepthCamera:
             raise ValueError("camera resolution must be at least 1x1")
         if self.max_range <= 0:
             raise ValueError("camera max range must be positive")
+        # Ray-fan memo: the pixel directions depend only on the total yaw (the
+        # fan is position-independent), so repeated captures at the same yaw —
+        # the common case, the pipeline flies yaw-locked — reuse one fan.
+        self._fan_cache: Dict[float, Tuple[Tuple[Vec3, ...], np.ndarray]] = {}
 
     def pixel_count(self) -> int:
         """Total rays cast per capture."""
@@ -123,22 +141,68 @@ class DepthCamera:
             max_range=self.max_range,
         )
 
+    def ray_fan(
+        self, position: Vec3, body_yaw_deg: float = 0.0
+    ) -> Tuple[Tuple[Vec3, ...], np.ndarray]:
+        """The per-pixel ray directions at a pose, as Vec3s and an ``(R, 3)`` array.
+
+        Directions depend only on the yaw, so the fan is memoised per yaw: the
+        trigonometric sampling pass runs once per distinct heading instead of
+        once per capture.
+        """
+        yaw = body_yaw_deg + self.mount_yaw_deg
+        cached = self._fan_cache.get(yaw)
+        if cached is None:
+            directions = tuple(
+                self.frustum(position, body_yaw_deg).sample_directions(
+                    self.width, self.height
+                )
+            )
+            array = np.array(
+                [(d.x, d.y, d.z) for d in directions], dtype=np.float64
+            ).reshape(len(directions), 3)
+            cached = (directions, array)
+            self._fan_cache[yaw] = cached
+        return cached
+
     def capture(self, world: World, position: Vec3, body_yaw_deg: float = 0.0) -> DepthImage:
-        """Capture a depth image of the world from the given pose."""
-        frustum = self.frustum(position, body_yaw_deg)
-        directions = tuple(frustum.sample_directions(self.width, self.height))
-        nearby = world.obstacles_near(position, self.max_range)
-        depths = tuple(
-            self._cast(nearby, position, direction) for direction in directions
+        """Capture a depth image of the world from the given pose.
+
+        The vectorised path runs one batched slab test over every
+        ``(ray, obstacle)`` pair; the scalar twin (:meth:`_cast` per ray) is
+        kept as the reference implementation and produces bit-identical
+        depths.
+        """
+        if not hotpath.enabled():
+            frustum = self.frustum(position, body_yaw_deg)
+            directions = tuple(frustum.sample_directions(self.width, self.height))
+            nearby = world.obstacles_near(position, self.max_range)
+            depths = tuple(
+                self._cast(nearby, position, direction) for direction in directions
+            )
+            return DepthImage(
+                origin=position,
+                directions=directions,
+                depths=depths,
+                max_range=self.max_range,
+                width=self.width,
+                height=self.height,
+            )
+        directions, dir_array = self.ray_fan(position, body_yaw_deg)
+        box_lo, box_hi = world.obstacle_arrays_near(position, self.max_range)
+        depths_array = raycast_aabbs_batch(
+            position, dir_array, box_lo, box_hi, self.max_range
         )
-        return DepthImage(
+        image = DepthImage(
             origin=position,
             directions=directions,
-            depths=depths,
+            depths=tuple(depths_array.tolist()),
             max_range=self.max_range,
             width=self.width,
             height=self.height,
         )
+        object.__setattr__(image, "_dir_array", dir_array)
+        return image
 
     def _cast(self, obstacles, origin: Vec3, direction: Vec3) -> float:
         """Distance to the first obstacle along a ray, or infinity."""

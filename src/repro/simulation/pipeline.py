@@ -38,6 +38,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+import numpy as np
+
+from repro import hotpath
 from repro.compute.costs import WorkloadCostModel
 from repro.compute.utilization import CpuUtilizationTracker
 from repro.control.follower import PurePursuitFollower
@@ -509,6 +512,22 @@ class PlanningNode(Node):
         points = trajectory.waypoint_positions()
         travelled = 0.0
         step = max(octree.vox_min, 0.5)
+        if hotpath.enabled():
+            # The segment list depends only on the travelled-distance budget,
+            # never on probe outcomes, so collecting it first and probing the
+            # whole batch in one index pass returns the same verdict as the
+            # early-exiting scalar walk.
+            pairs: List[tuple[Vec3, Vec3]] = []
+            for a, b in zip(points[start_index:], points[start_index + 1 :]):
+                pairs.append((a, b))
+                travelled += a.distance_to(b)
+                if travelled >= cfg.block_check_distance_m:
+                    break
+            if not pairs:
+                return False
+            starts = np.array([(a.x, a.y, a.z) for a, _ in pairs])
+            ends = np.array([(b.x, b.y, b.z) for _, b in pairs])
+            return bool(octree.segment_occupied_batch(starts, ends, step=step).any())
         for a, b in zip(points[start_index:], points[start_index + 1 :]):
             if octree.segment_occupied(a, b, step=step):
                 return True
