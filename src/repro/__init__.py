@@ -47,8 +47,22 @@ from repro.environment.generator import (
 )
 from repro.middleware.topic import TopicNamespace
 from repro.simulation.campaign import CampaignResult, CampaignRunner, ScenarioOutcome
-from repro.simulation.faults import CameraDegradation, FaultSet, SensorDropout
+from repro.simulation.faults import (
+    CameraDegradation,
+    CommsDropout,
+    CommsLatencySpike,
+    Fault,
+    FaultSchedule,
+    FaultSet,
+    PowerBrownout,
+    SensorDropout,
+    StuckMover,
+    ThermalThrottle,
+    fault_names,
+    register_fault,
+)
 from repro.simulation.fleet import FleetMetrics, FleetResult, FleetSimulator
+from repro.simulation.orchestrator import FaultOrchestrator
 from repro.simulation.metrics import DecisionTrace, MissionMetrics
 from repro.simulation.mission import MissionConfig, MissionResult, MissionSimulator
 from repro.simulation.pipeline import DecisionPipeline, PipelineHop
@@ -64,13 +78,15 @@ from repro.worlds import (
     register_archetype,
 )
 
-__version__ = "0.7.0"
+__version__ = "0.8.0"
 
 __all__ = [
     "CameraDegradation",
     "CampaignReport",
     "CampaignResult",
     "CampaignRunner",
+    "CommsDropout",
+    "CommsLatencySpike",
     "DecisionPipeline",
     "DecisionRecord",
     "DecisionTrace",
@@ -78,6 +94,9 @@ __all__ = [
     "EnvironmentConfig",
     "FigureTable",
     "EnvironmentGenerator",
+    "Fault",
+    "FaultOrchestrator",
+    "FaultSchedule",
     "FaultSet",
     "FleetMetrics",
     "FleetResult",
@@ -97,6 +116,7 @@ __all__ = [
     "MoverSpec",
     "OperatorSet",
     "PipelineHop",
+    "PowerBrownout",
     "ProfilerSuite",
     "RoboRunRuntime",
     "STATIC_BASELINE_POLICY",
@@ -106,6 +126,8 @@ __all__ = [
     "SolverResult",
     "SpaceProfile",
     "SpatialObliviousRuntime",
+    "StuckMover",
+    "ThermalThrottle",
     "TimeBudgeter",
     "TopicNamespace",
     "TraceReader",
@@ -116,6 +138,8 @@ __all__ = [
     "archetype_names",
     "build_environment",
     "build_world",
+    "fault_names",
     "register_archetype",
+    "register_fault",
     "scenario_grid",
 ]

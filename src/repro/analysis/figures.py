@@ -477,6 +477,94 @@ def fleet_scaling(missions: Sequence[MissionRecord]) -> FigureTable:
 
 
 # ----------------------------------------------------------------------
+# Fault robustness — governor vs. baseline under each injected fault
+# ----------------------------------------------------------------------
+def fault_robustness(missions: Sequence[MissionRecord]) -> FigureTable:
+    """Governor vs. baseline under injected faults, one row per fault config.
+
+    Groups completed missions by their :attr:`~repro.analysis.trace.
+    MissionRecord.fault_label` — the sorted ``"+"``-joined registry names of
+    the faults their spec injected, with the fault-free group labelled
+    ``"none"`` and listed first as the reference row — and reports, per
+    design, the mission count, the mean completion rate, the mean mission
+    time, the mean energy and the mean deadline-miss rate.  When both
+    designs of the A/B pair flew a fault the ``time_speedup`` column shows
+    how many times faster the governor finished under it: graceful
+    degradation is the governor's speedup *holding up* as the rows leave
+    ``"none"``.  ``meta["speedups"]`` maps each label to its ratio
+    (``None`` when the pair is incomplete) and ``meta["labels"]`` lists the
+    labels in row order.
+    """
+    usable = ok_missions(missions)
+    labels = sorted({m.fault_label for m in usable})
+    # The fault-free group is the reference row; pin it to the top.
+    if "none" in labels:
+        labels.remove("none")
+        labels.insert(0, "none")
+    designs = design_order([m.design for m in usable])
+    columns = ["fault"]
+    for design in designs:
+        columns.extend(
+            [
+                f"{design}_missions",
+                f"{design}_completion_rate",
+                f"{design}_time_s",
+                f"{design}_energy_kj",
+                f"{design}_deadline_miss_rate",
+            ]
+        )
+    columns.append("time_speedup")
+    rows: List[List[Any]] = []
+    speedups: Dict[str, Optional[float]] = {}
+    for label in labels:
+        row: List[Any] = [label]
+        times: Dict[str, float] = {}
+        for design in designs:
+            members = [
+                m for m in usable if m.fault_label == label and m.design == design
+            ]
+            if members:
+                mean_time = _mean([m.metrics["mission_time_s"] for m in members])
+                times[design] = mean_time
+                row.extend(
+                    [
+                        len(members),
+                        round(_mean([m.completion_rate for m in members]), 3),
+                        round(mean_time, 1),
+                        round(_mean([m.metrics["energy_kj"] for m in members]), 1),
+                        round(
+                            _mean(
+                                [
+                                    m.metrics.get("deadline_miss_rate", 0.0)
+                                    for m in members
+                                ]
+                            ),
+                            3,
+                        ),
+                    ]
+                )
+            else:
+                row.extend([0, "-", "-", "-", "-"])
+        base = times.get(BASELINE_DESIGN)
+        robo = times.get(ROBORUN_DESIGN)
+        if base is not None and robo is not None and robo > 0:
+            speedup: Optional[float] = base / robo
+            row.append(round(speedup, 2))
+        else:
+            speedup = None
+            row.append("n/a")
+        speedups[label] = speedup
+        rows.append(row)
+    return FigureTable(
+        key="faults",
+        title="Fault robustness: governor vs. baseline under injected faults",
+        columns=columns,
+        rows=rows,
+        meta={"speedups": speedups, "labels": labels},
+    )
+
+
+# ----------------------------------------------------------------------
 # Analytical model tables (Figures 2 and 5 as the paper draws them)
 # ----------------------------------------------------------------------
 def fig2a_model_table(

@@ -184,6 +184,12 @@ class TraceRecorder:
             difficulty = float(environment.difficulty_at(position))
         else:  # pragma: no cover - stub environments in tests
             difficulty = 0.0
+        # Fault tags: which registered faults' windows covered this decision
+        # (empty — and omitted from the serialised line — when none did).
+        orchestrator = getattr(pipeline, "orchestrator", None)
+        active_faults: tuple = ()
+        if orchestrator is not None and orchestrator.enabled:
+            active_faults = orchestrator.active_fault_names(index)
         record = DecisionRecord(
             spec_name=self.spec_name,
             design=pipeline.governor.runtime.name,
@@ -215,6 +221,7 @@ class TraceRecorder:
             archetype=archetype,
             difficulty=difficulty,
             drone_id=pipeline.drone_id,
+            faults=active_faults,
         )
         self._emit(record)
 

@@ -18,6 +18,7 @@ from repro.analysis.figures import (
     FIG8_KNOBS,
     FigureTable,
     archetype_comparison,
+    fault_robustness,
     fig2_latency_deadline,
     fig5_governor_response,
     fig7_overall,
@@ -135,12 +136,18 @@ class CampaignReport:
         """Fleet-scaling table (governor vs. baseline per fleet size)."""
         return fleet_scaling(self.missions)
 
+    def fault_robustness(self) -> FigureTable:
+        """Fault-robustness table (governor vs. baseline per injected fault)."""
+        return fault_robustness(self.missions)
+
     def tables(self) -> List[FigureTable]:
         """Every figure table of the report: paper order, then the
-        per-archetype comparison and the fleet-scaling table."""
+        per-archetype comparison, the fleet-scaling table and the
+        fault-robustness table."""
         return [self.fig2(), self.fig5(), self.fig7()] + self.fig8() + [
             self.archetypes(),
             self.fleet(),
+            self.fault_robustness(),
         ]
 
     def failures(self) -> List[MissionRecord]:

@@ -85,6 +85,9 @@ class DecisionRecord:
             pre-worlds trace).
         drone_id: which drone of a fleet mission made this decision (0 for
             every single-drone mission, and for every pre-fleet trace).
+        faults: registry names of the faults whose windows covered this
+            decision, sorted (empty for fault-free decisions and for every
+            pre-orchestrator trace).
     """
 
     spec_name: str
@@ -119,6 +122,8 @@ class DecisionRecord:
     difficulty: float = 0.0
     # Fleet-layer field; defaulted so pre-fleet trace lines still parse.
     drone_id: int = 0
+    # Fault-orchestrator field; defaulted so pre-orchestrator lines parse.
+    faults: Tuple[str, ...] = ()
 
     @property
     def compute_latency(self) -> float:
@@ -136,8 +141,13 @@ class DecisionRecord:
         return self.end_to_end_latency <= self.time_budget + 1e-9
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-data form with the ``kind`` / ``v`` envelope fields."""
-        return {
+        """Plain-data form with the ``kind`` / ``v`` envelope fields.
+
+        The ``faults`` key appears only on decisions a fault actually
+        covered, so fault-free traces keep the exact bytes they had before
+        the fault orchestrator existed.
+        """
+        data = {
             "kind": KIND_DECISION,
             "v": TRACE_SCHEMA_VERSION,
             "spec_name": self.spec_name,
@@ -171,6 +181,9 @@ class DecisionRecord:
             "difficulty": self.difficulty,
             "drone_id": self.drone_id,
         }
+        if self.faults:
+            data["faults"] = list(self.faults)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "DecisionRecord":
@@ -209,6 +222,8 @@ class DecisionRecord:
             difficulty=float(data.get("difficulty", 0.0)),
             # Absent in pre-fleet traces: a single drone, id 0.
             drone_id=int(data.get("drone_id", 0)),
+            # Absent in pre-orchestrator traces (and fault-free decisions).
+            faults=tuple(str(name) for name in data.get("faults", ())),
         )
 
 
@@ -325,6 +340,29 @@ class MissionRecord:
         if self.fleet is not None and "completion_rate" in self.fleet:
             return float(self.fleet["completion_rate"])
         return 1.0 if self.success else 0.0
+
+    @property
+    def fault_label(self) -> str:
+        """The mission's fault configuration as a grouping tag.
+
+        Sorted unique registry names of every configured fault (legacy
+        always-on fields plus schedule entries), ``"+"``-joined;
+        ``"none"`` for fault-free missions and every pre-orchestrator
+        trace — read from the spec's ``faults`` entry, so replayed traces
+        group identically to live ones.
+        """
+        spec = self.spec or {}
+        faults = spec.get("faults") or {}
+        names = set()
+        if faults.get("sensor_dropout"):
+            names.add("sensor_dropout")
+        if faults.get("camera_degradation"):
+            names.add("camera_degradation")
+        for entry in faults.get("schedule") or ():
+            name = (entry or {}).get("fault")
+            if name:
+                names.add(str(name))
+        return "+".join(sorted(names)) if names else "none"
 
     def knob(self, name: str) -> Optional[float]:
         """One environment difficulty knob value, or None when unknown."""

@@ -136,14 +136,31 @@ class SpatialObliviousRuntime:
     # ------------------------------------------------------------------
     # Per-decision interface (same shape as RoboRunRuntime)
     # ------------------------------------------------------------------
-    def decide(self, profile: SpaceProfile) -> GovernorDecision:
-        """Return the same static policy, deadline and velocity every decision."""
+    def decide(
+        self, profile: SpaceProfile, budget_scale: float = 1.0
+    ) -> GovernorDecision:
+        """Return the same static policy, deadline and velocity every decision.
+
+        A faulted ``budget_scale`` (e.g. a power brownout) shrinks the
+        deadline the platform grants, but the baseline — static by design —
+        keeps its design-time knobs and velocity regardless.  Its predicted
+        latency then overruns the shrunken budget, which surfaces as
+        infeasible decisions and deadline violations: the brittle half of
+        the graceful-degradation comparison.
+        """
+        if budget_scale <= 0:
+            raise ValueError("budget scale must be positive")
+        time_budget = self._design_budget
+        feasible = True
+        if budget_scale != 1.0:
+            time_budget = time_budget * budget_scale
+            feasible = self._design_latency <= time_budget
         return GovernorDecision(
             timestamp=profile.timestamp,
-            time_budget=self._design_budget,
+            time_budget=time_budget,
             policy=self.policy,
             predicted_latency=self._design_latency,
             velocity_cap=self._design_velocity,
-            solver_feasible=True,
+            solver_feasible=feasible,
             profile=profile,
         )

@@ -92,9 +92,23 @@ class Governor:
     # ------------------------------------------------------------------
     # Per-decision policy
     # ------------------------------------------------------------------
-    def decide(self, profile: SpaceProfile) -> GovernorDecision:
-        """Produce the policy, deadline and velocity cap for one decision."""
+    def decide(
+        self, profile: SpaceProfile, budget_scale: float = 1.0
+    ) -> GovernorDecision:
+        """Produce the policy, deadline and velocity cap for one decision.
+
+        Args:
+            profile: the Table I space profile of this decision.
+            budget_scale: multiplier on the computed time budget before the
+                solver runs — how a platform fault (e.g. a power brownout)
+                shrinks the deadline the governor must fit its knobs into.
+                Must be positive; 1.0 is the nominal path.
+        """
+        if budget_scale <= 0:
+            raise ValueError("budget scale must be positive")
         time_budget = self._time_budget(profile)
+        if budget_scale != 1.0:
+            time_budget = time_budget * budget_scale
         solved: SolverResult = self.solver.solve(time_budget, profile)
         velocity_cap = self._velocity_cap(profile, solved.predicted_latency)
         return GovernorDecision(

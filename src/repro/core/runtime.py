@@ -78,9 +78,17 @@ class RoboRunRuntime:
             rig_max_volume=rig_max_volume,
         )
 
-    def decide(self, profile: SpaceProfile) -> GovernorDecision:
-        """Run the governor and record the decision in the trace."""
-        decision = self.governor.decide(profile)
+    def decide(
+        self, profile: SpaceProfile, budget_scale: float = 1.0
+    ) -> GovernorDecision:
+        """Run the governor and record the decision in the trace.
+
+        ``budget_scale`` shrinks (or stretches) the time budget before the
+        solver runs — the spatial-aware runtime *re-solves* its knobs against
+        the faulted budget, which is exactly the graceful degradation the
+        fault-robustness comparison measures.
+        """
+        decision = self.governor.decide(profile, budget_scale=budget_scale)
         self._decisions.append(decision)
         return decision
 

@@ -22,7 +22,9 @@ Grid files take one of three JSON shapes:
 
 * ``{"grid": {...}}`` — keyword arguments for
   :func:`repro.simulation.scenario.scenario_grid` (``base_environment`` /
-  ``mission`` / ``faults`` given as plain dictionaries);
+  ``mission`` given as plain dictionaries; ``faults`` as either one
+  fault-set dictionary or a ``{config_name: fault set}`` mapping that
+  becomes a swept fault axis);
 * ``{"specs": [...]}`` — a list of full scenario-spec dictionaries;
 * ``[...]`` — the same list, bare.
 """
@@ -62,15 +64,15 @@ def load_grid_file(path: Path) -> List[ScenarioSpec]:
 def _grid_from_kwargs(kwargs: Dict[str, Any]) -> List[ScenarioSpec]:
     """Build a :func:`scenario_grid` call from the grid file's plain data."""
     from repro.environment.generator import EnvironmentConfig
-    from repro.simulation.faults import FaultSet
     from repro.simulation.mission import MissionConfig
 
     if "base_environment" in kwargs:
         kwargs["base_environment"] = EnvironmentConfig(**kwargs["base_environment"])
     if "mission" in kwargs:
         kwargs["mission"] = MissionConfig(**kwargs["mission"])
-    if "faults" in kwargs:
-        kwargs["faults"] = FaultSet.from_dict(kwargs["faults"])
+    # "faults" passes through untouched: scenario_grid itself coerces both
+    # shapes — one fault-set dict applied everywhere, or a {name: fault set}
+    # mapping that becomes a swept axis — and rejects typo'd fault names.
     for knob in ("designs", "densities", "spreads", "goal_distances", "n_drones"):
         if knob in kwargs:
             kwargs[knob] = tuple(kwargs[knob])

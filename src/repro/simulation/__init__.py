@@ -17,10 +17,32 @@ simulated-clock decision pipeline built on the in-process middleware:
   declarative scenario layer: serialisable :class:`ScenarioSpec`s (with fault
   injection from :mod:`repro.simulation.faults`) fanned across a process
   pool by :class:`CampaignRunner` into an aggregated :class:`CampaignResult`.
+* :mod:`repro.simulation.faults` / :mod:`repro.simulation.orchestrator` —
+  the open fault library (registered fault classes acting at the sense
+  boundary, the bus hops, the compute platform and the world's movers) and
+  the per-mission :class:`FaultOrchestrator` that resolves timed
+  :class:`FaultSchedule` activation/recovery windows against the mission
+  seed.
 """
 
 from repro.simulation.campaign import CampaignResult, CampaignRunner, ScenarioOutcome
-from repro.simulation.faults import CameraDegradation, FaultSet, SensorDropout
+from repro.simulation.faults import (
+    CameraDegradation,
+    CommsDropout,
+    CommsLatencySpike,
+    Fault,
+    FaultSchedule,
+    FaultSet,
+    PowerBrownout,
+    SensorDropout,
+    StuckMover,
+    ThermalThrottle,
+    fault_names,
+    get_fault,
+    is_registered_fault,
+    register_fault,
+)
+from repro.simulation.orchestrator import FaultOrchestrator
 from repro.simulation.metrics import DecisionTrace, MissionMetrics
 from repro.simulation.mission import MissionConfig, MissionResult, MissionSimulator
 from repro.simulation.pipeline import (
@@ -39,8 +61,13 @@ __all__ = [
     "CameraDegradation",
     "CampaignResult",
     "CampaignRunner",
+    "CommsDropout",
+    "CommsLatencySpike",
     "DecisionPipeline",
     "DecisionTrace",
+    "Fault",
+    "FaultOrchestrator",
+    "FaultSchedule",
     "FaultSet",
     "FlightNode",
     "GovernorNode",
@@ -51,10 +78,17 @@ __all__ = [
     "PerceptionNode",
     "PipelineHop",
     "PlanningNode",
+    "PowerBrownout",
     "ProfileNode",
     "ScenarioOutcome",
     "ScenarioSpec",
     "SenseNode",
     "SensorDropout",
+    "StuckMover",
+    "ThermalThrottle",
+    "fault_names",
+    "get_fault",
+    "is_registered_fault",
+    "register_fault",
     "scenario_grid",
 ]

@@ -51,8 +51,17 @@ class Runtime(Protocol):
     name: str
     spatial_aware: bool
 
-    def decide(self, profile: SpaceProfile) -> GovernorDecision:
-        """Produce the policy, deadline and velocity cap for one decision."""
+    def decide(
+        self, profile: SpaceProfile, budget_scale: float = 1.0
+    ) -> GovernorDecision:
+        """Produce the policy, deadline and velocity cap for one decision.
+
+        ``budget_scale`` multiplies the decision time budget before knobs are
+        chosen — platform faults (power brownouts) shrink it below 1; the
+        nominal path always passes 1.0 (and the pipeline only forwards a
+        non-unit scale, so stubs with the narrow signature keep working on
+        fault-free missions).
+        """
 
 
 @dataclass(frozen=True, slots=True)

@@ -67,6 +67,7 @@ from repro.sensors.rig import CameraRig, RigScan
 from repro.sensors.state_sensors import StateEstimate, StateSensorSuite
 from repro.simulation.faults import FaultSet
 from repro.simulation.metrics import DecisionTrace
+from repro.simulation.orchestrator import FaultOrchestrator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (mission imports us)
     from repro.perception.octomap import OccupancyOctree
@@ -272,6 +273,7 @@ class SenseNode(Node):
         faults: Optional[FaultSet] = None,
         octree: Optional["OccupancyOctree"] = None,
         *,
+        orchestrator: Optional[FaultOrchestrator] = None,
         topics: PipelineTopics = ROOT_TOPICS,
         name: str = "sense",
     ) -> None:
@@ -281,12 +283,17 @@ class SenseNode(Node):
         self.sensors = sensors
         self.environment = environment
         self.faults = faults or FaultSet()
+        self.orchestrator = (
+            orchestrator
+            if orchestrator is not None
+            else FaultOrchestrator(self.faults)
+        )
         self.dynamics = getattr(environment, "dynamics", None)
         self._octree = octree
         self.dropped_decisions: List[int] = []
         self._position = environment.start
         self._velocity = Vec3.zero()
-        self._degraded_rig: Optional[CameraRig] = None
+        self._degraded_rigs: Dict[tuple[int, int], CameraRig] = {}
         self.subscribe(topics.flight, self._on_flight)
 
     def _on_flight(self, message: Message[FlightResult]) -> None:
@@ -294,22 +301,40 @@ class SenseNode(Node):
         self._velocity = message.payload.state.velocity
 
     def _active_rig(self, decision_index: int) -> CameraRig:
-        degradation = self.faults.camera_degradation
-        if degradation is None or not degradation.active(decision_index):
+        if not self.orchestrator.enabled:
             return self.rig
-        if self._degraded_rig is None:
-            self._degraded_rig = self.rig.with_resolution(
-                degradation.width, degradation.height
-            )
-        return self._degraded_rig
+        resolution = self.orchestrator.camera_resolution(decision_index)
+        if resolution is None:
+            return self.rig
+        rig = self._degraded_rigs.get(resolution)
+        if rig is None:
+            rig = self.rig.with_resolution(*resolution)
+            self._degraded_rigs[resolution] = rig
+        return rig
+
+    def _mover_epoch_overrides(self, decision_index: int) -> Optional[Dict[str, int]]:
+        """Per-mover epoch pins from active stuck-mover windows (None = nominal)."""
+        if not self.orchestrator.enabled or self.dynamics is None:
+            return None
+        overrides: Dict[str, int] = {}
+        for mover in self.dynamics.movers:
+            frozen = self.orchestrator.frozen_epoch(mover.name, decision_index)
+            if frozen is not None:
+                overrides[mover.name] = frozen
+        return overrides or None
 
     def tick(self, decision_index: int) -> None:
         """Capture one decision's sensor data and start the cascade."""
         if self.dynamics is not None:
-            self.dynamics.step(decision_index, octree=self._octree)
+            self.dynamics.step(
+                decision_index,
+                octree=self._octree,
+                epoch_overrides=self._mover_epoch_overrides(decision_index),
+            )
         rig = self._active_rig(decision_index)
-        dropout = self.faults.sensor_dropout
-        dropped = dropout is not None and dropout.drops(decision_index)
+        dropped = self.orchestrator.enabled and self.orchestrator.sensor_dropped(
+            decision_index
+        )
         if dropped:
             scan = rig.empty_scan(self._position)
             self.dropped_decisions.append(decision_index)
@@ -377,6 +402,7 @@ class GovernorNode(Node):
         runtime: "Runtime",
         cost_model: WorkloadCostModel,
         *,
+        orchestrator: Optional[FaultOrchestrator] = None,
         topics: PipelineTopics = ROOT_TOPICS,
         name: str = "governor",
     ) -> None:
@@ -384,10 +410,20 @@ class GovernorNode(Node):
         self.topics = topics
         self.runtime = runtime
         self.cost_model = cost_model
+        self.orchestrator = orchestrator
         self.subscribe(topics.profile, self._on_profile)
 
     def _on_profile(self, message: Message[ProfileSample]) -> None:
-        decision = self.runtime.decide(message.payload.profile)
+        # A power brownout shrinks the time budget fed to the runtime; the
+        # scale-free call is kept as its own branch so fault-free missions
+        # (and runtime stubs with the narrow signature) are untouched.
+        scale = 1.0
+        if self.orchestrator is not None and self.orchestrator.enabled:
+            scale = self.orchestrator.budget_scale(message.payload.index)
+        if scale != 1.0:
+            decision = self.runtime.decide(message.payload.profile, budget_scale=scale)
+        else:
+            decision = self.runtime.decide(message.payload.profile)
         self.charge_compute(self.cost_model.runtime_latency(self.runtime.spatial_aware))
         self.publish(
             self.topics.decision, DecisionSample(message.payload.index, decision)
@@ -676,6 +712,7 @@ class FlightNode(Node):
         cpu: CpuUtilizationTracker,
         traces: List[DecisionTrace],
         *,
+        orchestrator: Optional[FaultOrchestrator] = None,
         topics: PipelineTopics = ROOT_TOPICS,
         name: str = "flight",
     ) -> None:
@@ -691,6 +728,7 @@ class FlightNode(Node):
         self.ledger = ledger
         self.cpu = cpu
         self.traces = traces
+        self.orchestrator = orchestrator
         self.hops: List[PipelineHop] = []
         self.state = DroneState(
             time=0.0, position=environment.start, velocity=Vec3.zero()
@@ -734,6 +772,13 @@ class FlightNode(Node):
         stage_latencies = self.cost_model.stage_latencies(
             work, self.runtime.spatial_aware
         )
+        # Platform/transport faults land here, after the nominal model and
+        # before any accounting, so thermal throttling inflates the compute
+        # stages and comm faults show up in the comm_* ledger entries.
+        if self.orchestrator is not None and self.orchestrator.enabled:
+            stage_latencies = self.orchestrator.apply_stage_latencies(
+                index, stage_latencies
+            )
         end_to_end = sum(stage_latencies.values())
         self._record_latencies(index, stage_latencies)
         self.cpu.record_decision(index, compute_seconds(stage_latencies))
@@ -925,6 +970,12 @@ class DecisionPipeline:
         self.ledger = LatencyLedger()
         self.cpu = CpuUtilizationTracker(sensor_period_s=config.sensor_period_s)
         self.traces: List[DecisionTrace] = []
+        self.faults = faults or FaultSet()
+        # One orchestrator per pipeline: schedule jitter resolves against the
+        # mission seed, so serial and pooled campaign runs agree.
+        self.orchestrator = FaultOrchestrator(
+            self.faults, seed=getattr(config, "rng_seed", 0)
+        )
 
         topics = self.topics
         ns = self.namespace
@@ -935,6 +986,7 @@ class DecisionPipeline:
             environment,
             faults,
             octree=operators.octree,
+            orchestrator=self.orchestrator,
             topics=topics,
             name=ns.node("sense"),
         )
@@ -948,7 +1000,12 @@ class DecisionPipeline:
             name=ns.node("profile"),
         )
         self.governor = GovernorNode(
-            self.executor, runtime, cost_model, topics=topics, name=ns.node("governor")
+            self.executor,
+            runtime,
+            cost_model,
+            orchestrator=self.orchestrator,
+            topics=topics,
+            name=ns.node("governor"),
         )
         self.perception = PerceptionNode(
             self.executor, operators, cost_model, topics=topics,
@@ -970,6 +1027,7 @@ class DecisionPipeline:
             self.ledger,
             self.cpu,
             self.traces,
+            orchestrator=self.orchestrator,
             topics=topics,
             name=ns.node("flight"),
         )

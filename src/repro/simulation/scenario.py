@@ -21,7 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 from repro.environment.generator import EnvironmentConfig
-from repro.simulation.faults import FaultSet
+from repro.simulation.faults import FAULT_SET_KEYS, FaultSet
 from repro.simulation.fleet import FleetResult, FleetSimulator
 from repro.simulation.mission import MissionConfig, MissionResult, MissionSimulator
 from repro.worlds import WorldSpec, archetype_names, build_environment, is_registered
@@ -50,7 +50,9 @@ class ScenarioSpec:
         design: the runtime under test (``roborun`` / ``spatial_oblivious``).
         environment: difficulty knobs for the generated world.
         mission: the decision-loop configuration.
-        faults: sensor faults injected at the pipeline's sense boundary.
+        faults: the fault set injected into the mission — legacy always-on
+            sensor faults plus timed :class:`~repro.simulation.faults.
+            FaultSchedule` windows resolved by the fault orchestrator.
         world: which procedural world archetype to fly through (defaults to
             the paper corridor, so pre-worlds specs behave identically).
         n_drones: fleet size; 1 (the default, and what every saved pre-fleet
@@ -197,6 +199,53 @@ def _coerce_world(value: Any) -> WorldSpec:
     )
 
 
+def _coerce_fault_set(value: Any) -> FaultSet:
+    """Accept a FaultSet, a fault-set dictionary or None (no faults)."""
+    if value is None:
+        return FaultSet()
+    if isinstance(value, FaultSet):
+        return value
+    if isinstance(value, dict):
+        return FaultSet.from_dict(value)
+    raise TypeError(
+        f"fault entries must be FaultSet, fault-set dict or None, got {value!r}"
+    )
+
+
+def _fault_axis(faults: Any) -> tuple:
+    """Normalise ``scenario_grid``'s ``faults`` argument into a sweep axis.
+
+    Returns ``(configs, named)`` where ``configs`` is a list of
+    ``(FaultSet, tag)`` pairs and ``named`` says whether the axis was swept
+    (tags then appear in spec names).  Two shapes are accepted:
+
+    * a single configuration — ``None``, a :class:`FaultSet`, or a fault-set
+      dictionary (keys from ``FAULT_SET_KEYS``): applied to *every* spec,
+      names unchanged (the pre-orchestrator behaviour);
+    * a named mapping ``{config_name: FaultSet | dict | None}`` — any dict
+      whose keys are not fault-set keys: one grid axis entry per name.
+      Typo'd fault names inside a config still fail loudly, because every
+      inner dict goes through the strict :meth:`FaultSet.from_dict`.
+    """
+    if faults is None or isinstance(faults, FaultSet):
+        return [(_coerce_fault_set(faults), "")], False
+    if isinstance(faults, dict):
+        if not faults or set(faults) <= set(FAULT_SET_KEYS):
+            return [(FaultSet.from_dict(faults), "")], False
+        configs = []
+        for tag, value in faults.items():
+            if not tag or not isinstance(tag, str):
+                raise ValueError(
+                    f"fault config names must be non-empty strings, got {tag!r}"
+                )
+            configs.append((_coerce_fault_set(value), tag))
+        return configs, True
+    raise TypeError(
+        "faults must be None, a FaultSet, a fault-set dict or a "
+        f"{{name: fault set}} mapping, got {faults!r}"
+    )
+
+
 def _ordinal_tags(labels: Sequence[str]) -> List[str]:
     """Spec-name tags for one grid axis: repeated labels get 0-based ordinals.
 
@@ -231,10 +280,10 @@ def scenario_grid(
     n_drones: Sequence[int] = (),
     base_environment: Optional[EnvironmentConfig] = None,
     mission: Optional[MissionConfig] = None,
-    faults: Optional[FaultSet] = None,
+    faults: Any = None,
     base_seed: int = 0,
 ) -> List[ScenarioSpec]:
-    """Build the cartesian sweep of designs × worlds × fleet sizes × knobs.
+    """Build the cartesian sweep of designs × worlds × fleets × faults × knobs.
 
     Empty knob lists fall back to the base environment's value, so a caller
     can sweep any subset of the three paper knobs (density, spread, goal
@@ -243,8 +292,14 @@ def scenario_grid(
     dictionary; an empty list means the default paper corridor, and spec
     names then stay identical to the pre-worlds grid.  ``n_drones`` adds the
     fleet axis the same way: an empty list means single-drone missions with
-    unchanged names.  Every spec receives a distinct, deterministic seed
-    (``base_seed + index``), so the grid is reproducible mission by mission.
+    unchanged names.  ``faults`` is either one configuration (``None``, a
+    :class:`~repro.simulation.faults.FaultSet` or a fault-set dictionary)
+    applied to every spec with unchanged names, or a named mapping
+    ``{config_name: fault set}`` that becomes a swept axis whose config
+    names are tagged into the spec names (``..._nofault_...``,
+    ``..._brownout_...``).  Every spec receives a distinct, deterministic
+    seed (``base_seed + index``), so the grid is reproducible mission by
+    mission.
     """
     base_env = base_environment or EnvironmentConfig()
     density_values = tuple(densities) or (base_env.obstacle_density,)
@@ -265,14 +320,16 @@ def scenario_grid(
     tagged_fleets = list(
         zip(fleet_values, _ordinal_tags([f"fleet{n}" for n in fleet_values]))
     )
+    tagged_faults, name_faults = _fault_axis(faults)
 
     specs: List[ScenarioSpec] = []
     combos = itertools.product(
-        designs, tagged_worlds, tagged_fleets, density_values, spread_values,
-        goal_values,
+        designs, tagged_worlds, tagged_fleets, tagged_faults, density_values,
+        spread_values, goal_values,
     )
     for index, (
-        design, (world, tag), (fleet, fleet_label), density, spread, goal,
+        design, (world, tag), (fleet, fleet_label), (fault_set, fault_label),
+        density, spread, goal,
     ) in enumerate(combos):
         environment = replace(
             base_env,
@@ -282,15 +339,16 @@ def scenario_grid(
         )
         world_tag = f"_{tag}" if name_worlds else ""
         fleet_tag = f"_{fleet_label}" if name_fleets else ""
+        fault_tag = f"_{fault_label}" if name_faults else ""
         spec = ScenarioSpec(
             name=(
-                f"{name_prefix}_{design}{world_tag}{fleet_tag}"
+                f"{name_prefix}_{design}{world_tag}{fleet_tag}{fault_tag}"
                 f"_den{density:g}_spr{spread:g}_goal{goal:g}"
             ),
             design=design,
             environment=environment,
             mission=mission or MissionConfig(),
-            faults=faults or FaultSet(),
+            faults=fault_set,
             world=world,
             n_drones=fleet,
         ).seeded(base_seed + index)

@@ -209,7 +209,10 @@ class DynamicObstacleSet:
         return len(self.movers)
 
     def step(
-        self, epoch: int, octree: Optional["OccupancyOctree"] = None
+        self,
+        epoch: int,
+        octree: Optional["OccupancyOctree"] = None,
+        epoch_overrides: Optional[Dict[str, int]] = None,
     ) -> Dict[str, int]:
         """Advance every mover to ``epoch`` and re-mark maps accordingly.
 
@@ -218,12 +221,26 @@ class DynamicObstacleSet:
         marks its new footprint — both through the octree's incremental
         spatial index, so no query structure is rebuilt.
 
+        Args:
+            epoch: the decision epoch every mover advances to.
+            octree: the occupancy map to re-mark, if any.
+            epoch_overrides: per-mover epoch pins (``{mover_name: epoch}``) —
+                a pinned mover is positioned at its pinned epoch instead of
+                ``epoch``.  This is how a stuck-mover fault freezes one
+                obstacle mid-route while the rest keep moving.
+
         Returns:
             Step statistics: ``movers`` (total), ``remarked`` (movers whose
             octree footprint was refreshed this step), ``voxels_marked`` and
             ``voxels_cleared``.
         """
-        boxes = [mover.box_at(epoch) for mover in self.movers]
+        if epoch_overrides:
+            boxes = [
+                mover.box_at(epoch_overrides.get(mover.name, epoch))
+                for mover in self.movers
+            ]
+        else:
+            boxes = [mover.box_at(epoch) for mover in self.movers]
         self.world.set_dynamic_obstacles(
             [Obstacle(box, name=mover.name) for mover, box in zip(self.movers, boxes)]
         )

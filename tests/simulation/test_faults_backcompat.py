@@ -1,0 +1,141 @@
+"""Backward compatibility: the fault registry must not move existing bytes.
+
+Two layers of guarantee:
+
+* **Format** — fault-set JSON written before the registry/orchestrator
+  existed still parses, and the no-fault default still serialises to the
+  pre-schedule byte layout (no ``"schedule"`` key).
+* **Behaviour** — a no-fault campaign on the benchmark seed reproduces the
+  exact trace files, dispatch log and metrics of the pre-registry code,
+  pinned here as SHA-256 digests.  A fault-free mission must take the same
+  code path — bit for bit — whether or not the orchestrator exists.
+"""
+
+import dataclasses
+import hashlib
+import json
+
+import pytest
+
+from repro import (
+    CampaignRunner,
+    EnvironmentConfig,
+    FaultSet,
+    MissionConfig,
+    MissionSimulator,
+    RoboRunRuntime,
+    ScenarioSpec,
+    build_environment,
+    scenario_grid,
+)
+
+GOLDEN_ENV = EnvironmentConfig(
+    obstacle_density=0.3, obstacle_spread=30.0, goal_distance=60.0, seed=7
+)
+GOLDEN_CFG = MissionConfig(max_decisions=25, max_mission_time_s=150.0)
+
+#: SHA-256 digests of the benchmark-seed artefacts, captured before the
+#: fault registry landed.  If one of these moves, a "no-fault" mission is
+#: no longer on the pre-registry code path.
+GOLDEN_TRACE_SHA = {
+    "golden_roborun_den0.3_spr30_goal60.jsonl":
+        "ee80c58b8ae8aa99e8c9f9cb38827d8967475d2126572897337023f27382d104",
+    "golden_spatial_oblivious_den0.3_spr30_goal60.jsonl":
+        "76c22d20ba92642d4bf0a967c7f791190d3e612da7067178c38bd88e649bb71c",
+}
+GOLDEN_DISPATCH_SHA = (
+    "59e96c81ad1ebc1a20cd197aab433e9ccf5104c610624a469023b2b9a9450b35"
+)
+GOLDEN_METRICS_SHA = (
+    "61ced841b68361a61262d1db9682f00c3c5a86633b3388355b2af6942f5e9ab5"
+)
+
+
+class TestFormatCompatibility:
+    def test_pre_registry_fault_set_json_parses(self):
+        """The exact JSON shape older specs wrote still round-trips."""
+        legacy = {
+            "sensor_dropout": {"every_n": 4, "start_decision": 2},
+            "camera_degradation": None,
+        }
+        faults = FaultSet.from_dict(json.loads(json.dumps(legacy)))
+        assert faults.sensor_dropout.every_n == 4
+        assert faults.camera_degradation is None
+        assert faults.schedule == ()
+        assert faults.to_dict() == legacy
+
+    def test_no_fault_default_serialises_to_pre_schedule_bytes(self):
+        payload = json.dumps(FaultSet().to_dict(), sort_keys=True)
+        assert payload == (
+            '{"camera_degradation": null, "sensor_dropout": null}'
+        )
+
+    def test_pre_registry_scenario_spec_parses(self):
+        """A spec dictionary without schedule/world/n_drones keys loads."""
+        spec_dict = {
+            "name": "legacy",
+            "design": "roborun",
+            "environment": dataclasses.asdict(GOLDEN_ENV),
+            "mission": dataclasses.asdict(GOLDEN_CFG),
+            "faults": {
+                "sensor_dropout": {"every_n": 3, "start_decision": 0},
+                "camera_degradation": None,
+            },
+        }
+        spec = ScenarioSpec.from_dict(json.loads(json.dumps(spec_dict)))
+        assert spec.faults.sensor_dropout.every_n == 3
+        assert spec.faults.label() == "sensor_dropout"
+
+    def test_legacy_trace_record_without_faults_key_loads(self):
+        from repro.analysis.trace import DecisionRecord
+        record = DecisionRecord(
+            spec_name="legacy", design="roborun", index=0, timestamp=0.0,
+            position=(0.0, 0.0, 5.0), zone="A", speed=0.0, velocity_cap=1.0,
+            time_budget=1.0, predicted_latency=0.5, solver_feasible=True,
+            policy={}, stage_latencies={}, end_to_end_latency=0.5,
+            visibility=40.0, closest_obstacle=10.0, gap_min=1.0, gap_avg=2.0,
+            sensor_volume=100.0, map_volume=50.0, map_voxels=10, flown=1.0,
+            interval=1.0, energy=5.0, replanned=False, dropped=False,
+            hit=False,
+        )
+        line = json.loads(json.dumps(record.to_dict()))
+        # A fault-free record serialises without the "faults" key — the
+        # exact byte layout pre-orchestrator traces have on disk.
+        assert "faults" not in line
+        assert DecisionRecord.from_dict(line).faults == ()
+
+
+@pytest.mark.slow
+class TestBehaviouralCompatibility:
+    """No-fault runs on the benchmark seed reproduce the pinned digests."""
+
+    def test_no_fault_campaign_traces_bit_identical(self, tmp_path):
+        specs = scenario_grid(
+            "golden",
+            densities=(0.3,),
+            base_environment=GOLDEN_ENV,
+            mission=GOLDEN_CFG,
+            base_seed=7,
+        )
+        CampaignRunner(max_workers=1).run(specs, trace_dir=tmp_path)
+        produced = {p.name for p in tmp_path.glob("*.jsonl")}
+        assert produced == set(GOLDEN_TRACE_SHA)
+        for name, expected in GOLDEN_TRACE_SHA.items():
+            digest = hashlib.sha256((tmp_path / name).read_bytes()).hexdigest()
+            assert digest == expected, (
+                f"no-fault trace {name} drifted from the pre-registry bytes"
+            )
+
+    def test_no_fault_dispatch_log_and_metrics_bit_identical(self):
+        environment = build_environment(GOLDEN_ENV)
+        result = MissionSimulator(
+            environment, RoboRunRuntime(), GOLDEN_CFG
+        ).run()
+        dispatch = json.dumps(result.pipeline.dispatch_log())
+        metrics = json.dumps(result.metrics.as_dict(), sort_keys=True)
+        assert hashlib.sha256(dispatch.encode()).hexdigest() == (
+            GOLDEN_DISPATCH_SHA
+        ), "the no-fault message cascade changed shape or order"
+        assert hashlib.sha256(metrics.encode()).hexdigest() == (
+            GOLDEN_METRICS_SHA
+        ), "no-fault mission metrics drifted"
