@@ -29,7 +29,7 @@ if __package__ in (None, ""):
 
 from bench_io import REPO_ROOT, comparable_metrics, read_bench  # noqa: E402
 
-DEFAULT_SUITES = ("fleet", "spatial", "worldgen")
+DEFAULT_SUITES = ("fleet", "spatial", "worldgen", "obs")
 DEFAULT_THRESHOLD = 0.30
 
 

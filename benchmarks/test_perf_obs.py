@@ -1,0 +1,96 @@
+"""Observability overhead benchmark: the tap must be nearly free.
+
+Flies the benchmark environment twice — once bare, once with a live
+:class:`~repro.obs.tap.ObsTap` collecting spans and metrics — and records
+both throughputs plus their ratio in ``BENCH_obs.json``:
+
+* ``disabled_decisions_per_s`` — the plain mission, which is the number the
+  obs-overhead CI gate compares against the committed baseline (with no tap
+  attached the only obs residue is one truthiness check per dispatch and
+  two per decision);
+* ``enabled_decisions_per_s`` — the same mission fully instrumented;
+* ``enabled_vs_disabled_speedup`` — enabled ÷ disabled.  As a ``_speedup``
+  metric it is gated by ``check_perf_regression.py``, so a future change
+  that makes the *enabled* tap drastically more expensive fails CI too.
+
+Run with ``-s`` to see the comparison table.
+"""
+
+import time
+
+import pytest
+from bench_io import write_bench
+from conftest import BENCH_ENV, print_table
+
+from repro import MissionConfig, MissionSimulator, ObsTap, build_environment
+from repro.core.runtime import RoboRunRuntime
+from repro.worlds import WorldSpec
+
+OBS_MISSION = MissionConfig(max_decisions=150, max_mission_time_s=500.0)
+
+
+def _fly(tap=None):
+    environment = build_environment(BENCH_ENV, WorldSpec())
+    simulator = MissionSimulator(environment, RoboRunRuntime(), OBS_MISSION)
+    taps = (tap,) if tap is not None else ()
+    start = time.perf_counter()
+    result = simulator.run(taps=taps)
+    wall = time.perf_counter() - start
+    decisions = int(result.metrics.decision_count)
+    assert decisions > 0
+    return decisions, wall
+
+
+@pytest.mark.slow
+def test_obs_overhead():
+    # Bare first, then instrumented, interleaved warm-up free: both runs
+    # rebuild the world from the same seed, so the work is identical.
+    disabled_decisions, disabled_wall = _fly()
+    tap = ObsTap()
+    enabled_decisions, enabled_wall = _fly(tap=tap)
+    tap.finish()
+    assert enabled_decisions == disabled_decisions, (
+        "the tap changed the mission's decision count"
+    )
+    assert len(tap.tracer.events) > 0
+
+    disabled_tput = disabled_decisions / disabled_wall
+    enabled_tput = enabled_decisions / enabled_wall
+    ratio = enabled_tput / disabled_tput
+
+    print_table(
+        "Observability overhead (decisions/sec)",
+        [
+            ["mode", "decisions", "wall_s", "decisions_per_s"],
+            ["disabled", disabled_decisions, round(disabled_wall, 2),
+             round(disabled_tput, 1)],
+            ["enabled", enabled_decisions, round(enabled_wall, 2),
+             round(enabled_tput, 1)],
+        ],
+    )
+
+    path = write_bench(
+        "obs",
+        {
+            "disabled": {
+                "decisions": disabled_decisions,
+                "wall_s": disabled_wall,
+                "disabled_decisions_per_s": disabled_tput,
+            },
+            "enabled": {
+                "decisions": enabled_decisions,
+                "wall_s": enabled_wall,
+                "enabled_decisions_per_s": enabled_tput,
+            },
+            "overhead": {"enabled_vs_disabled_speedup": ratio},
+        },
+        timestamp=time.time(),
+        config={
+            "environment_seed": BENCH_ENV.seed,
+            "mission": {
+                "max_decisions": OBS_MISSION.max_decisions,
+                "max_mission_time_s": OBS_MISSION.max_mission_time_s,
+            },
+        },
+    )
+    assert path.exists()

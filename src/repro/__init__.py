@@ -13,7 +13,11 @@ fleet sharing one world and bus (:class:`~repro.simulation.fleet.
 FleetSimulator`) — fanned across a process pool) and the analysis subsystem
 (:mod:`repro.analysis`): structured mission traces, streaming JSONL trace
 files, and the aggregators that fold traces into the paper's figures —
-surfaced on the command line as ``python -m repro.report``.
+surfaced on the command line as ``python -m repro.report``.  The
+observability layer (:mod:`repro.obs`) watches the runtime itself:
+wall-clock spans with Chrome-trace export, a metrics registry with
+Prometheus rendering, campaign heartbeats, and the ``python -m
+repro.profile`` CLI — all opt-in and strictly off the data path.
 
 Quick start::
 
@@ -45,7 +49,17 @@ from repro.environment.generator import (
     EnvironmentGenerator,
     GeneratedEnvironment,
 )
+from repro.middleware.executor import DispatchRecord
 from repro.middleware.topic import TopicNamespace
+from repro.obs import (
+    HeartbeatEmitter,
+    HeartbeatRecord,
+    MetricsRegistry,
+    ObsTap,
+    Tracer,
+    configure_logging,
+    get_logger,
+)
 from repro.simulation.campaign import CampaignResult, CampaignRunner, ScenarioOutcome
 from repro.simulation.faults import (
     CameraDegradation,
@@ -78,7 +92,7 @@ from repro.worlds import (
     register_archetype,
 )
 
-__version__ = "0.8.0"
+__version__ = "0.9.0"
 
 __all__ = [
     "CameraDegradation",
@@ -90,6 +104,7 @@ __all__ = [
     "DecisionPipeline",
     "DecisionRecord",
     "DecisionTrace",
+    "DispatchRecord",
     "DynamicObstacleSet",
     "EnvironmentConfig",
     "FigureTable",
@@ -104,6 +119,8 @@ __all__ = [
     "GeneratedEnvironment",
     "Governor",
     "GovernorDecision",
+    "HeartbeatEmitter",
+    "HeartbeatRecord",
     "HeterogeneityField",
     "KnobLimits",
     "KnobPolicy",
@@ -112,8 +129,10 @@ __all__ = [
     "MissionMetrics",
     "MissionRecord",
     "MissionResult",
+    "MetricsRegistry",
     "MissionSimulator",
     "MoverSpec",
+    "ObsTap",
     "OperatorSet",
     "PipelineHop",
     "PowerBrownout",
@@ -131,6 +150,7 @@ __all__ = [
     "TimeBudgeter",
     "TopicNamespace",
     "TraceReader",
+    "Tracer",
     "TraceRecorder",
     "TraceWriter",
     "WorldSpec",
@@ -138,7 +158,9 @@ __all__ = [
     "archetype_names",
     "build_environment",
     "build_world",
+    "configure_logging",
     "fault_names",
+    "get_logger",
     "register_archetype",
     "register_fault",
     "scenario_grid",

@@ -42,32 +42,50 @@ class CampaignReport:
         decisions: every decision record of the campaign, in spec order.
         missions: one mission record per spec (including error records for
             specs that failed).
+        heartbeats: optional campaign-telemetry heartbeat records
+            (:class:`~repro.obs.heartbeat.HeartbeatRecord`); when present
+            the report grows a runtime/instrumentation table.
     """
 
     def __init__(
         self,
         decisions: Sequence[DecisionRecord] = (),
         missions: Sequence[MissionRecord] = (),
+        heartbeats: Sequence[Any] = (),
     ) -> None:
         self.decisions: List[DecisionRecord] = list(decisions)
         self.missions: List[MissionRecord] = list(missions)
+        self.heartbeats: List[Any] = list(heartbeats)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_paths(cls, paths: Sequence[PathLike]) -> "CampaignReport":
+    def from_paths(
+        cls, paths: Sequence[PathLike], heartbeats: Sequence[Any] = ()
+    ) -> "CampaignReport":
         """Build a report from saved JSONL trace files, in the given order."""
         decisions, missions = read_traces(paths)
-        return cls(decisions, missions)
+        return cls(decisions, missions, heartbeats=heartbeats)
 
     @classmethod
     def from_trace_dir(cls, directory: PathLike) -> "CampaignReport":
-        """Build a report from every ``*.jsonl`` file under a directory."""
+        """Build a report from every ``*.jsonl`` file under a directory.
+
+        When the campaign was run with telemetry into the conventional
+        location (``<trace_dir>/telemetry/heartbeats.jsonl``), the
+        heartbeats are picked up automatically and the report includes the
+        runtime table.
+        """
         paths = list_trace_files(directory)
         if not paths:
             raise FileNotFoundError(f"no trace files (*.jsonl) under {directory}")
-        return cls.from_paths(paths)
+        from repro.obs.heartbeat import HEARTBEAT_FILE, read_heartbeats
+
+        heartbeats = read_heartbeats(
+            Path(directory) / "telemetry" / HEARTBEAT_FILE
+        )
+        return cls.from_paths(paths, heartbeats=heartbeats)
 
     @classmethod
     def from_campaign(cls, campaign: "CampaignResult") -> "CampaignReport":
@@ -201,6 +219,44 @@ class CampaignReport:
             rows=rows,
         )
 
+    def runtime_table(self) -> FigureTable:
+        """Runtime/instrumentation table from the campaign heartbeats.
+
+        One row per spec: final status, wall-clock time, decision cascades
+        completed, decisions per wall-clock second and the worker's peak
+        RSS — the observability layer's view of the campaign, empty when it
+        ran without telemetry.
+        """
+        from repro.obs.heartbeat import runtime_summary
+
+        summary = runtime_summary(self.heartbeats)
+        rows: List[List[Any]] = []
+        for spec_name in sorted(summary):
+            entry = summary[spec_name]
+            rows.append(
+                [
+                    spec_name,
+                    entry["status"],
+                    round(entry["wall_time_s"], 3),
+                    entry["decisions"],
+                    round(entry["decisions_per_sec"], 1),
+                    round(entry["peak_rss_mb"], 1),
+                ]
+            )
+        return FigureTable(
+            key="runtime",
+            title="Runtime (campaign telemetry)",
+            columns=[
+                "spec",
+                "status",
+                "wall_time_s",
+                "decisions",
+                "decisions_per_sec",
+                "peak_rss_mb",
+            ],
+            rows=rows,
+        )
+
     # ------------------------------------------------------------------
     # Emission
     # ------------------------------------------------------------------
@@ -220,6 +276,12 @@ class CampaignReport:
         lines.append("")
         lines.append(self.mission_table().to_markdown())
         lines.append("")
+        runtime = self.runtime_table()
+        if runtime.rows:
+            lines.append(f"## {runtime.title}")
+            lines.append("")
+            lines.append(runtime.to_markdown())
+            lines.append("")
         if failures:
             lines.append("## Partial failures")
             lines.append("")
@@ -268,7 +330,11 @@ class CampaignReport:
         base = Path(directory)
         base.mkdir(parents=True, exist_ok=True)
         written: List[Path] = []
-        for table in [self.mission_table()] + self.tables():
+        tables = [self.mission_table()] + self.tables()
+        runtime = self.runtime_table()
+        if runtime.rows:
+            tables.insert(1, runtime)
+        for table in tables:
             path = base / f"{table.key}.csv"
             path.write_text(table.to_csv(), encoding="utf-8")
             written.append(path)

@@ -115,6 +115,12 @@ class KnobSolver:
         self.latency_model = latency_model or PipelineLatencyModel.default()
         self.limits = limits or KnobLimits()
         self.config = config or SolverConfig()
+        # Cumulative observability counters (read by repro.obs, never by the
+        # solver itself): how many times solve() ran and how many ladder
+        # candidates it evaluated across the mission.
+        self.solve_count = 0
+        self.candidates_evaluated = 0
+        self.infeasible_count = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -152,7 +158,11 @@ class KnobSolver:
                 )
                 candidates.append((objective, p0 + p1, -total_volume, policy, predicted))
 
+        self.solve_count += 1
+        self.candidates_evaluated += len(candidates)
+
         if not candidates:
+            self.infeasible_count += 1
             fallback = self._fallback_policy(profile)
             predicted = self._predict(fallback)
             return SolverResult(

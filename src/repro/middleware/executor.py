@@ -5,6 +5,12 @@ subscriber callbacks and dispatches them in FIFO order.  Because the whole
 reproduction is single-process and driven by a simulated clock, a simple
 run-to-completion executor is sufficient and makes every experiment exactly
 repeatable.
+
+Observability hooks into dispatch through :meth:`Executor.add_observer`:
+an observer sees every delivery (before and after the callback runs) but
+cannot publish, reorder or mutate messages, so attaching one never changes
+the dispatch log — the determinism witness stays byte-identical whether or
+not anyone is watching.
 """
 
 from __future__ import annotations
@@ -27,6 +33,27 @@ class _PendingDispatch:
     message: Message[Any]
 
 
+@dataclass(frozen=True, slots=True)
+class DispatchRecord:
+    """One delivered callback, in typed form.
+
+    The raw ``dispatch_log`` stays a ``List[Tuple[str, str]]`` because its
+    JSON serialisation is pinned by SHA-256 goldens; this record is the
+    ergonomic view for new code (obs taps, tests, analysis).
+    """
+
+    topic: str
+    frame_id: str
+
+    @property
+    def drone_id(self) -> str:
+        """The drone namespace of the topic, or "" for un-namespaced topics."""
+        parts = self.topic.split("/")
+        if len(parts) >= 3 and parts[1] == "drone":
+            return parts[2]
+        return ""
+
+
 class Executor:
     """Owns publication and dispatch over a :class:`TopicBus`.
 
@@ -44,6 +71,26 @@ class Executor:
         self._dispatched = 0
         self._record_dispatch = record_dispatch
         self._dispatch_log: List[Tuple[str, str]] = []
+        self._queue_high_water = 0
+        self._observers: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: Any) -> None:
+        """Attach a passive dispatch observer.
+
+        An observer may implement ``before_dispatch(topic_name, callback,
+        message)`` and/or ``after_dispatch(topic_name, callback, message)``;
+        missing hooks are skipped.  Observers run on the dispatch hot path,
+        so when none are attached the cost is a single truthiness check.
+        """
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer: Any) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     # ------------------------------------------------------------------
     # Publication
@@ -58,6 +105,8 @@ class Executor:
         message = Message.create(payload, stamp=self.clock.now, frame_id=frame_id)
         for callback in topic.publish(message):
             self._queue.append(_PendingDispatch(topic_name, callback, message))
+        if len(self._queue) > self._queue_high_water:
+            self._queue_high_water = len(self._queue)
         return message
 
     def subscribe(self, topic_name: str, callback: SubscriberCallback) -> Topic:
@@ -80,7 +129,18 @@ class Executor:
         pending = self._queue.popleft()
         if self._record_dispatch:
             self._dispatch_log.append((pending.topic_name, pending.message.header.frame_id))
-        pending.callback(pending.message)
+        if self._observers:
+            for observer in self._observers:
+                before = getattr(observer, "before_dispatch", None)
+                if before is not None:
+                    before(pending.topic_name, pending.callback, pending.message)
+            pending.callback(pending.message)
+            for observer in self._observers:
+                after = getattr(observer, "after_dispatch", None)
+                if after is not None:
+                    after(pending.topic_name, pending.callback, pending.message)
+        else:
+            pending.callback(pending.message)
         self._dispatched += 1
         return True
 
@@ -123,6 +183,11 @@ class Executor:
         return self._dispatched
 
     @property
+    def queue_high_water(self) -> int:
+        """Largest queue depth ever reached (peak concurrency of the graph)."""
+        return self._queue_high_water
+
+    @property
     def dispatch_log(self) -> List[Tuple[str, str]]:
         """(topic, publishing frame) per delivered callback, in dispatch order.
 
@@ -131,3 +196,10 @@ class Executor:
         with the same seed must produce identical logs.
         """
         return list(self._dispatch_log)
+
+    def dispatch_records(self) -> List[DispatchRecord]:
+        """The dispatch log as typed :class:`DispatchRecord` rows."""
+        return [
+            DispatchRecord(topic=topic, frame_id=frame)
+            for topic, frame in self._dispatch_log
+        ]

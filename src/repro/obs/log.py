@@ -1,0 +1,123 @@
+"""Structured logging for the repro package: one root logger, zero prints.
+
+Library code never calls ``print``.  Every module that wants to talk gets a
+namespaced child of the single ``repro`` root logger via :func:`get_logger`
+and emits ordinary :mod:`logging` records; by default those records go
+nowhere (a :class:`logging.NullHandler` sits on the root), so importing the
+library stays silent no matter what the host application configured.
+
+Command-line entry points (``python -m repro.report``, ``python -m
+repro.profile``) opt into output by calling :func:`configure_logging`, which
+installs exactly one stream handler on the root logger.  The handler looks
+its stream up dynamically (``sys.stdout`` by default), so output lands
+wherever stdout currently points — including pytest's capture — rather than
+wherever it pointed at configuration time.
+
+The verbosity knob is the ``REPRO_LOG_LEVEL`` environment variable
+(``DEBUG``/``INFO``/``WARNING``/``ERROR``/``CRITICAL`` or a numeric level);
+an explicit ``level=`` argument wins over the environment.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Callable, Optional, TextIO
+
+#: The single root logger of the package; every library logger is a child.
+ROOT_LOGGER_NAME = "repro"
+
+#: Environment variable that sets the default verbosity of CLI runs.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+#: Marker attribute stamped on handlers installed by :func:`configure_logging`
+#: so reconfiguration replaces them instead of stacking duplicates.
+_HANDLER_MARK = "_repro_obs_handler"
+
+# Importing the module guarantees the library default: records are swallowed
+# unless a handler is configured, and logging's last-resort stderr printer
+# never fires for repro records.
+_root = logging.getLogger(ROOT_LOGGER_NAME)
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A namespaced child of the ``repro`` root logger.
+
+    ``get_logger("report")`` → ``repro.report``; dotted names (including a
+    module's ``__name__``, with or without the ``repro.`` prefix) nest
+    naturally.  An empty name returns the root logger itself.
+    """
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def level_from_env(default: int = logging.INFO) -> int:
+    """Resolve ``REPRO_LOG_LEVEL`` into a numeric logging level."""
+    raw = os.environ.get(LOG_LEVEL_ENV, "").strip()
+    if not raw:
+        return default
+    if raw.isdigit():
+        return int(raw)
+    resolved = logging.getLevelName(raw.upper())
+    return resolved if isinstance(resolved, int) else default
+
+
+class _DynamicStreamHandler(logging.StreamHandler):
+    """A stream handler that resolves its stream at emit time.
+
+    CLI output must follow ``sys.stdout`` even when the surrounding harness
+    (pytest's capsys, a wrapping service) swaps the stream after logging was
+    configured, so the handler never caches the file object.
+    """
+
+    def __init__(self, stream_getter: Callable[[], TextIO]) -> None:
+        self._stream_getter = stream_getter
+        super().__init__()
+
+    @property
+    def stream(self) -> TextIO:  # type: ignore[override]
+        return self._stream_getter()
+
+    @stream.setter
+    def stream(self, value: object) -> None:  # pragma: no cover - setter no-op
+        # StreamHandler.__init__ assigns a default stream; the dynamic lookup
+        # deliberately ignores it.
+        del value
+
+
+def configure_logging(
+    level: Optional[int] = None,
+    fmt: str = "%(message)s",
+    stream_getter: Optional[Callable[[], TextIO]] = None,
+) -> logging.Logger:
+    """Install the CLI output handler on the ``repro`` root logger.
+
+    Args:
+        level: numeric logging level; ``None`` reads ``REPRO_LOG_LEVEL``
+            (default ``INFO``).
+        fmt: handler format; the default renders bare messages, which keeps
+            CLI output identical to what the old ``print`` calls produced.
+        stream_getter: zero-argument callable returning the output stream
+            (default: current ``sys.stdout``).
+
+    Calling again reconfigures (replaces the previously installed handler)
+    instead of stacking handlers, so repeated CLI invocations in one process
+    never duplicate lines.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    resolved = level_from_env() if level is None else level
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+    handler = _DynamicStreamHandler(stream_getter or (lambda: sys.stdout))
+    handler.setFormatter(logging.Formatter(fmt))
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    root.setLevel(resolved)
+    return root

@@ -108,6 +108,9 @@ class PlanResult:
         collision_samples: number of points probed by the collision ray caster
             across the whole search — the quantity the planning precision knob
             controls and the compute model charges.
+        rewires: number of tree edges re-parented by the RRT* rewiring pass —
+            an observability counter (how much the asymptotically-optimal
+            machinery actually worked), not a cost-model input.
     """
 
     success: bool
@@ -118,6 +121,7 @@ class PlanResult:
     stopped_by_volume_monitor: bool
     path_length: float
     collision_samples: int = 0
+    rewires: int = 0
 
 
 class _CollisionChecker:
@@ -277,6 +281,7 @@ class RRTStarPlanner:
         goal_node_index: Optional[int] = None
         stopped_by_volume = False
         iterations = 0
+        rewires = 0
 
         for iterations in range(1, cfg.max_iterations + 1):
             explored_volume = len(explored_cells) * cell_volume
@@ -298,9 +303,10 @@ class RRTStarPlanner:
             if checker.segment(nodes[nearest_index].position, new_position):
                 continue
 
-            new_index = self._insert_with_rewire(
+            new_index, new_rewires = self._insert_with_rewire(
                 nodes, new_position, nearest_index, checker, cfg, positions
             )
+            rewires += new_rewires
             explored_cells.add(voxel_key(new_position, cfg.exploration_cell))
 
             if new_position.distance_to(goal) <= cfg.goal_tolerance:
@@ -322,6 +328,7 @@ class RRTStarPlanner:
                 explored=explored_volume,
                 by_volume=stopped_by_volume,
                 samples=checker.samples,
+                rewires=rewires,
             )
 
         waypoints = self._extract_path(nodes, goal_node_index)
@@ -334,6 +341,7 @@ class RRTStarPlanner:
             stopped_by_volume_monitor=stopped_by_volume,
             path_length=_path_length(waypoints),
             collision_samples=checker.samples,
+            rewires=rewires,
         )
 
     # ------------------------------------------------------------------
@@ -341,7 +349,12 @@ class RRTStarPlanner:
     # ------------------------------------------------------------------
     @staticmethod
     def _failure(
-        iterations: int, nodes: int, explored: float, by_volume: bool, samples: int
+        iterations: int,
+        nodes: int,
+        explored: float,
+        by_volume: bool,
+        samples: int,
+        rewires: int = 0,
     ) -> PlanResult:
         return PlanResult(
             success=False,
@@ -352,6 +365,7 @@ class RRTStarPlanner:
             stopped_by_volume_monitor=by_volume,
             path_length=0.0,
             collision_samples=samples,
+            rewires=rewires,
         )
 
     @staticmethod
@@ -402,7 +416,7 @@ class RRTStarPlanner:
         checker: _CollisionChecker,
         cfg: RRTStarConfig,
         positions: Optional[_PositionBuffer] = None,
-    ) -> int:
+    ) -> Tuple[int, int]:
         # Choose the lowest-cost parent within the rewiring radius.  The
         # distance scan is the vectorisable part; the conditional collision
         # probes must stay a sequential short-circuit loop because the
@@ -444,6 +458,7 @@ class RRTStarPlanner:
         # Rewire neighbours through the new node when it shortens their cost.
         # Vec3.distance_to is exactly symmetric (the squared differences are
         # sign-insensitive), so the precomputed distances serve both passes.
+        rewired = 0
         for i in neighbour_indices:
             if distances is not None:
                 through_new = best_cost + float(distances[i])
@@ -455,7 +470,8 @@ class RRTStarPlanner:
                 nodes[i] = _TreeNode(
                     position=nodes[i].position, parent=new_index, cost=through_new
                 )
-        return new_index
+                rewired += 1
+        return new_index, rewired
 
     @staticmethod
     def _extract_path(nodes: Sequence[_TreeNode], goal_index: int) -> List[Vec3]:

@@ -33,12 +33,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.report import CampaignReport
+from repro.obs.log import configure_logging, get_logger
 from repro.simulation.campaign import CampaignRunner
 from repro.simulation.scenario import ScenarioSpec, scenario_grid
+
+log = get_logger("report")
 
 
 def load_grid_file(path: Path) -> List[ScenarioSpec]:
@@ -127,11 +131,68 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="report title (default derived from the grid / trace directory name)",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        type=Path,
+        default=None,
+        help=(
+            "where grid runs write heartbeat telemetry "
+            "(default: <trace dir>/telemetry)"
+        ),
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable campaign telemetry (no heartbeats, no runtime table)",
+    )
     return parser
+
+
+class _ProgressLine:
+    """Renders campaign heartbeats as one live progress line on stderr.
+
+    The line is rewritten in place (carriage return) when stderr is a
+    terminal and suppressed entirely otherwise, so piped and CI output stays
+    clean — progress is a human affordance, not part of the report.
+    """
+
+    def __init__(self, total_specs: int) -> None:
+        self.total = total_specs
+        self.done = 0
+        self.failed = 0
+        self._tty = bool(getattr(sys.stderr, "isatty", lambda: False)())
+        self._dirty = False
+
+    def __call__(self, record: Dict[str, Any]) -> None:
+        status = record.get("status")
+        if status == "done":
+            self.done += 1
+        elif status == "error":
+            self.done += 1
+            self.failed += 1
+        if not self._tty:
+            return
+        spec = record.get("spec", "?")
+        epoch = record.get("epoch", -1)
+        line = (
+            f"\r[{self.done}/{self.total}] {spec} "
+            f"epoch={epoch} rss={record.get('rss_mb', 0.0):.0f}MB"
+        )
+        if self.failed:
+            line += f" failed={self.failed}"
+        sys.stderr.write(line[:120].ljust(80))
+        sys.stderr.flush()
+        self._dirty = True
+
+    def close(self) -> None:
+        if self._dirty:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    configure_logging()
     args = build_parser().parse_args(argv)
 
     if args.grid is not None:
@@ -139,13 +200,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         out = args.out or Path("reports") / f"{stem}.md"
         trace_dir = args.trace_dir or Path("reports") / "traces" / stem
         specs = load_grid_file(args.grid)
-        print(f"Flying {len(specs)} scenario(s) from {args.grid} ...")
-        campaign = CampaignRunner(max_workers=args.workers).run(
-            specs, trace_dir=trace_dir
-        )
+        log.info("Flying %d scenario(s) from %s ...", len(specs), args.grid)
+        telemetry_dir: Optional[Path] = None
+        progress: Optional[_ProgressLine] = None
+        if not args.no_telemetry:
+            telemetry_dir = args.telemetry_dir or trace_dir / "telemetry"
+            progress = _ProgressLine(len(specs))
+        try:
+            campaign = CampaignRunner(max_workers=args.workers).run(
+                specs,
+                trace_dir=trace_dir,
+                telemetry_dir=telemetry_dir,
+                progress=progress,
+            )
+        finally:
+            if progress is not None:
+                progress.close()
         failures = campaign.failures()
         flown = len(campaign) - len(failures)
-        print(f"  {flown} flew, {len(failures)} failed; traces in {trace_dir}/")
+        log.info(
+            "  %d flew, %d failed; traces in %s/", flown, len(failures), trace_dir
+        )
         # The report is rebuilt from the trace files alone: what the report
         # shows is exactly what a later --traces run would show.
         report = CampaignReport.from_trace_dir(trace_dir)
@@ -153,28 +228,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         stem = args.traces.name
         out = args.out or Path("reports") / f"{stem}.md"
         report = CampaignReport.from_trace_dir(args.traces)
-        print(
-            f"Loaded {len(report.missions)} mission(s) / "
-            f"{len(report.decisions)} decision record(s) from {args.traces}/"
+        log.info(
+            "Loaded %d mission(s) / %d decision record(s) from %s/",
+            len(report.missions),
+            len(report.decisions),
+            args.traces,
         )
 
     title = args.title or f"RoboRun campaign report — {stem}"
     destination = report.write_markdown(out, title=title)
-    print(f"Report written to {destination}")
+    log.info("Report written to %s", destination)
     if args.csv_dir is not None:
         written = report.write_csvs(args.csv_dir)
-        print(f"{len(written)} CSV table(s) written to {args.csv_dir}/")
+        log.info("%d CSV table(s) written to %s/", len(written), args.csv_dir)
     failed = report.failures()
     if failed and len(failed) == len(report.missions):
         # Every spec errored: the report holds nothing but the failure
         # section, so the run itself failed — exit nonzero and say so.
-        print(
-            f"ERROR: all {len(failed)} spec(s) failed to run; "
-            "see the report's partial-failures section"
+        log.error(
+            "ERROR: all %d spec(s) failed to run; "
+            "see the report's partial-failures section",
+            len(failed),
         )
         return 1
     if failed:
-        print(f"WARNING: {len(failed)} spec(s) failed; see the report")
+        log.warning("WARNING: %d spec(s) failed; see the report", len(failed))
     return 0
 
 

@@ -37,6 +37,19 @@ def _error_record(spec_dict: Dict[str, Any], exc: BaseException) -> Dict[str, st
     }
 
 
+#: Worker-side heartbeat sink.  ``None`` (the default) means telemetry is
+#: off and the worker touches none of the heartbeat code.  Pool workers get
+#: theirs installed by :func:`_telemetry_initializer`; serial campaigns set
+#: it around the inline loop.
+_worker_telemetry_sink: Optional[Any] = None
+
+
+def _telemetry_initializer(queue: Any) -> None:
+    """Pool initializer: point this worker's heartbeats at the parent queue."""
+    global _worker_telemetry_sink
+    _worker_telemetry_sink = queue
+
+
 def _run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry point: fly one scenario described as plain data.
 
@@ -56,6 +69,8 @@ def _run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     row: Dict[str, Any] = {"spec": spec_dict}
     writer = None
     recorder = None
+    emitter = None
+    sink = _worker_telemetry_sink if payload.get("telemetry") else None
     try:
         # The writer is opened before the spec is parsed (from the raw dict's
         # name) so that even a spec that fails to *parse* leaves an error
@@ -67,12 +82,25 @@ def _run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             writer = TraceWriter(
                 trace_path(payload["trace_dir"], str(spec_dict.get("name", "unnamed")))
             )
+        if sink is not None:
+            # Lazy import for the same reason as the analysis layer: workers
+            # without telemetry never load the obs package.
+            from repro.obs.heartbeat import HeartbeatEmitter
+
+            emitter = HeartbeatEmitter(str(spec_dict.get("name", "unnamed")), sink)
+            emitter.emit("start")
         spec = ScenarioSpec.from_dict(spec_dict)
         if writer is not None:
             from repro.analysis.recorder import TraceRecorder
 
             recorder = TraceRecorder(writer=writer, spec=spec, keep_records=False)
-        result = spec.run(recorder=recorder)
+        # taps is only passed when telemetry is live, so campaigns without
+        # telemetry exercise exactly the pre-obs call (and keep working with
+        # callers that stub ScenarioSpec.run with the old signature).
+        if emitter is not None:
+            result = spec.run(recorder=recorder, taps=(emitter,))
+        else:
+            result = spec.run(recorder=recorder)
         row["metrics"] = result.metrics.as_dict()
         if payload.get("keep_results"):
             result.pipeline = None
@@ -81,9 +109,13 @@ def _run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             for drone_result in getattr(result, "drones", ()):  # FleetResult
                 drone_result.pipeline = None
             row["result"] = result
+        if emitter is not None:
+            emitter.emit("done")
     except Exception as exc:  # noqa: BLE001 - the whole point is to surface it
         error = _error_record(spec_dict, exc)
         row["error"] = error
+        if emitter is not None:
+            emitter.emit("error", error=f"{type(exc).__name__}: {exc}")
         if writer is not None:
             from repro.analysis.trace import MissionRecord
 
@@ -249,6 +281,8 @@ class CampaignRunner:
         specs: Sequence[ScenarioSpec],
         keep_results: bool = False,
         trace_dir: Optional[Any] = None,
+        telemetry_dir: Optional[Any] = None,
+        progress: Optional[Any] = None,
     ) -> CampaignResult:
         """Fly every scenario and fold the outcomes, in spec order.
 
@@ -269,6 +303,15 @@ class CampaignRunner:
                 after the campaign it holds exactly this campaign's traces;
                 the files depend only on the specs, so serial and parallel
                 runs of the same campaign produce byte-identical traces.
+            telemetry_dir: when given, workers emit heartbeat/progress
+                records (spec, status, epoch, wall elapsed, rss) which the
+                parent appends to ``<telemetry_dir>/heartbeats.jsonl``.
+                ``None`` (the default) disables telemetry entirely — no
+                queue, no emitters, no extra work in the workers.
+            progress: optional callable invoked in the parent with each
+                heartbeat dictionary as it arrives (live progress lines).
+                Supplying only ``progress`` enables telemetry without
+                writing a file.
         """
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
@@ -286,26 +329,31 @@ class CampaignRunner:
                 )
             Path(trace_dir).mkdir(parents=True, exist_ok=True)
             clear_traces(trace_dir)
+        telemetry = telemetry_dir is not None or progress is not None
         payloads = [
             {
                 "spec": spec.to_dict(),
                 "keep_results": keep_results,
                 "trace_dir": str(trace_dir) if trace_dir is not None else None,
+                "telemetry": telemetry,
             }
             for spec in specs
         ]
         workers = self._pool_size(len(payloads))
+        heartbeats: List[Dict[str, Any]] = []
         if workers <= 1 or len(payloads) <= 1:
-            rows = [_run_payload(payload) for payload in payloads]
+            rows = self._run_serial(payloads, telemetry, progress, heartbeats)
         else:
-            # The platform-default start method: fork on Linux, spawn on
-            # macOS/Windows (forcing fork there crashes under framework
-            # threads).  Spawn works because workers receive plain
-            # dictionaries, the worker function is module-level and the
-            # parent's sys.path is propagated to the children.
-            context = multiprocessing.get_context()
-            with context.Pool(processes=workers) as pool:
-                rows = pool.map(_run_payload, payloads)
+            rows = self._run_pool(
+                payloads, workers, telemetry, progress, heartbeats
+            )
+
+        if telemetry_dir is not None and heartbeats:
+            from repro.obs.heartbeat import HEARTBEAT_FILE, write_heartbeats
+
+            write_heartbeats(
+                heartbeats, Path(telemetry_dir) / HEARTBEAT_FILE
+            )
 
         outcomes = [
             ScenarioOutcome(
@@ -320,3 +368,96 @@ class CampaignRunner:
             outcomes=outcomes,
             trace_dir=str(trace_dir) if trace_dir is not None else None,
         )
+
+    @staticmethod
+    def _run_serial(
+        payloads: List[Dict[str, Any]],
+        telemetry: bool,
+        progress: Optional[Any],
+        heartbeats: List[Dict[str, Any]],
+    ) -> List[Dict[str, Any]]:
+        """Run every payload inline, with an in-process heartbeat sink."""
+        global _worker_telemetry_sink
+        if not telemetry:
+            return [_run_payload(payload) for payload in payloads]
+        sink = _InlineSink(heartbeats, progress)
+        previous = _worker_telemetry_sink
+        _worker_telemetry_sink = sink
+        try:
+            return [_run_payload(payload) for payload in payloads]
+        finally:
+            _worker_telemetry_sink = previous
+
+    def _run_pool(
+        self,
+        payloads: List[Dict[str, Any]],
+        workers: int,
+        telemetry: bool,
+        progress: Optional[Any],
+        heartbeats: List[Dict[str, Any]],
+    ) -> List[Dict[str, Any]]:
+        """Fan payloads across a pool, draining heartbeats while it runs."""
+        # The platform-default start method: fork on Linux, spawn on
+        # macOS/Windows (forcing fork there crashes under framework
+        # threads).  Spawn works because workers receive plain
+        # dictionaries, the worker function is module-level and the
+        # parent's sys.path is propagated to the children.
+        context = multiprocessing.get_context()
+        if not telemetry:
+            with context.Pool(processes=workers) as pool:
+                return pool.map(_run_payload, payloads)
+        # A manager queue (not a raw mp.Queue) because it survives pickling
+        # into pool initializers under every start method.
+        with multiprocessing.Manager() as manager:
+            queue = manager.Queue()
+            with context.Pool(
+                processes=workers,
+                initializer=_telemetry_initializer,
+                initargs=(queue,),
+            ) as pool:
+                pending = pool.map_async(_run_payload, payloads)
+                while not pending.ready():
+                    self._drain_queue(queue, heartbeats, progress, timeout=0.1)
+                rows = pending.get()
+            self._drain_queue(queue, heartbeats, progress, timeout=None)
+        return rows
+
+    @staticmethod
+    def _drain_queue(
+        queue: Any,
+        heartbeats: List[Dict[str, Any]],
+        progress: Optional[Any],
+        timeout: Optional[float],
+    ) -> None:
+        """Move queued heartbeat dicts into ``heartbeats`` (and progress).
+
+        ``timeout`` is the blocking budget for the *first* get; once the
+        queue turns up empty the drain returns immediately.
+        """
+        import queue as _queue_mod
+
+        block = timeout is not None
+        while True:
+            try:
+                record = queue.get(block=block, timeout=timeout)
+            except _queue_mod.Empty:
+                return
+            block = False
+            heartbeats.append(record)
+            if progress is not None:
+                progress(record)
+
+
+class _InlineSink:
+    """Serial-campaign heartbeat sink: collect + forward to the progress hook."""
+
+    def __init__(
+        self, collected: List[Dict[str, Any]], progress: Optional[Any]
+    ) -> None:
+        self._collected = collected
+        self._progress = progress
+
+    def put(self, record: Dict[str, Any]) -> None:
+        self._collected.append(record)
+        if self._progress is not None:
+            self._progress(record)

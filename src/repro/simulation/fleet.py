@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.dynamics.drone import QuadrotorKinematics
 from repro.dynamics.energy import EnergyModel
@@ -266,7 +266,11 @@ class FleetSimulator:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, recorder: Optional["TraceRecorder"] = None) -> FleetResult:
+    def run(
+        self,
+        recorder: Optional["TraceRecorder"] = None,
+        taps: Sequence = (),
+    ) -> FleetResult:
         """Fly the fleet mission and return per-drone plus aggregate results."""
         cfg = self.config
         n = self.n_drones
@@ -283,6 +287,8 @@ class FleetSimulator:
             )
             if recorder is not None:
                 pipeline.add_tap(recorder, energy_model=sim.energy_model)
+            for tap in taps:
+                pipeline.add_tap(tap, energy_model=sim.energy_model)
             pipelines.append(pipeline)
 
         distance = [0.0] * n

@@ -272,7 +272,11 @@ class MissionSimulator:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, recorder: Optional["TraceRecorder"] = None) -> MissionResult:
+    def run(
+        self,
+        recorder: Optional["TraceRecorder"] = None,
+        taps: Sequence = (),
+    ) -> MissionResult:
         """Fly the mission and return its metrics and traces.
 
         Args:
@@ -281,12 +285,17 @@ class MissionSimulator:
                 a passive topic tap and receives one structured record per
                 decision plus the final mission record.  ``None`` (the
                 default) adds no tracing work at all.
+            taps: additional passive observers (``repro.obs`` taps such as
+                :class:`~repro.obs.tap.ObsTap`), attached the same way.
+                Empty (the default) adds no instrumentation work at all.
         """
         cfg = self.config
         env = self.environment
         pipeline = self.build_pipeline()
         if recorder is not None:
             pipeline.add_tap(recorder, energy_model=self.energy_model)
+        for tap in taps:
+            pipeline.add_tap(tap, energy_model=self.energy_model)
         clock = pipeline.clock
 
         distance_travelled = 0.0

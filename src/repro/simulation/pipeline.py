@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -1039,6 +1039,9 @@ class DecisionPipeline:
             self.planning,
             self.flight,
         )
+        # Passive step observers (repro.obs taps).  Empty by default, so an
+        # uninstrumented mission pays only two truthiness checks per decision.
+        self.observers: List[Any] = []
 
     def add_tap(self, tap, energy_model=None) -> None:
         """Attach a passive observer (e.g. a trace recorder) to the graph.
@@ -1053,6 +1056,9 @@ class DecisionPipeline:
     def step(self, decision_index: int) -> FlightResult:
         """Run one full decision cascade through the graph."""
         self.flight.last_result = None
+        if self.observers:
+            for observer in self.observers:
+                observer.on_decision_start(self, decision_index)
         self.sense.tick(decision_index)
         self.executor.spin()
         result = self.flight.last_result
@@ -1060,6 +1066,9 @@ class DecisionPipeline:
             raise RuntimeError(
                 f"decision {decision_index} did not complete its cascade"
             )
+        if self.observers:
+            for observer in self.observers:
+                observer.on_decision_end(self, decision_index, result)
         return result
 
     @property

@@ -129,7 +129,9 @@ class ScenarioSpec:
         )
 
     def run(
-        self, recorder: Optional["TraceRecorder"] = None
+        self,
+        recorder: Optional["TraceRecorder"] = None,
+        taps: Sequence = (),
     ) -> Union[MissionResult, FleetResult]:
         """Fly the scenario once and return the full mission result.
 
@@ -138,10 +140,12 @@ class ScenarioSpec:
                 TraceRecorder` to stream structured per-decision records to;
                 a recorder without a spec of its own is stamped with this
                 spec so its records carry the scenario's identity.
+            taps: additional passive observers (``repro.obs`` taps), passed
+                through to the simulator untouched.
         """
         if recorder is not None and recorder.spec is None:
             recorder.spec = self
-        return self.build_simulator().run(recorder=recorder)
+        return self.build_simulator().run(recorder=recorder, taps=taps)
 
     # ------------------------------------------------------------------
     # Serialisation

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.middleware.clock import SimClock, Stopwatch
-from repro.middleware.executor import Executor
+from repro.middleware.executor import DispatchRecord, Executor
 from repro.middleware.latency import ALL_STAGES, LatencyLedger
 from repro.middleware.message import Message
 from repro.middleware.node import Node
@@ -190,6 +190,115 @@ class TestExecutorReentrancy:
         executor.publish("/a", None, frame_id="source")
         executor.spin()
         assert executor.dispatch_log == []
+
+
+class TestExecutorObservability:
+    """The obs-facing surface: typed records, high-water mark, observers."""
+
+    def make_executor(self, **kwargs):
+        return Executor(TopicBus(), SimClock(), **kwargs)
+
+    def test_dispatch_records_mirror_the_raw_log(self):
+        executor = self.make_executor(record_dispatch=True)
+        executor.subscribe("/drone/2/scan", lambda m: None)
+        executor.subscribe("/plan", lambda m: None)
+        executor.publish("/drone/2/scan", None, frame_id="sense")
+        executor.publish("/plan", None, frame_id="planner")
+        executor.spin()
+        records = executor.dispatch_records()
+        assert [(r.topic, r.frame_id) for r in records] == executor.dispatch_log
+        assert records[0] == DispatchRecord(topic="/drone/2/scan", frame_id="sense")
+
+    def test_dispatch_record_drone_id_parsing(self):
+        assert DispatchRecord("/drone/3/scan", "f").drone_id == "3"
+        assert DispatchRecord("/scan", "f").drone_id == ""
+        assert DispatchRecord("/dronex/3/scan", "f").drone_id == ""
+
+    def test_queue_high_water_tracks_peak_not_current(self):
+        executor = self.make_executor()
+        executor.subscribe("/a", lambda m: None)
+        executor.subscribe("/a", lambda m: None)
+        executor.subscribe("/a", lambda m: None)
+        assert executor.queue_high_water == 0
+        executor.publish("/a", None, frame_id="src")
+        assert executor.queue_high_water == 3
+        executor.spin()
+        assert executor.pending == 0
+        assert executor.queue_high_water == 3
+
+    def test_observer_sees_every_dispatch_in_order(self):
+        executor = self.make_executor()
+        seen = []
+
+        class Watcher:
+            def before_dispatch(self, topic, callback, message):
+                seen.append(("before", topic, message.payload))
+
+            def after_dispatch(self, topic, callback, message):
+                seen.append(("after", topic, message.payload))
+
+        executor.add_observer(Watcher())
+        executor.subscribe("/a", lambda m: None)
+        executor.publish("/a", 7, frame_id="src")
+        executor.spin()
+        assert seen == [("before", "/a", 7), ("after", "/a", 7)]
+
+    def test_observer_with_partial_hooks_is_fine(self):
+        executor = self.make_executor()
+        befores = []
+
+        class BeforeOnly:
+            def before_dispatch(self, topic, callback, message):
+                befores.append(topic)
+
+        executor.add_observer(BeforeOnly())
+        executor.subscribe("/a", lambda m: None)
+        executor.publish("/a", None, frame_id="src")
+        executor.spin()
+        assert befores == ["/a"]
+
+    def test_observer_does_not_change_the_dispatch_log(self):
+        def run(with_observer):
+            executor = self.make_executor(record_dispatch=True)
+
+            class Silent:
+                def before_dispatch(self, *a):
+                    pass
+
+                def after_dispatch(self, *a):
+                    pass
+
+            if with_observer:
+                executor.add_observer(Silent())
+            executor.subscribe(
+                "/a", lambda m: executor.publish("/b", None, "node_a")
+            )
+            executor.subscribe("/b", lambda m: None)
+            executor.publish("/a", None, frame_id="source")
+            executor.spin()
+            return executor.dispatch_log
+
+        assert run(with_observer=True) == run(with_observer=False)
+
+    def test_remove_observer(self):
+        executor = self.make_executor()
+        calls = []
+
+        class Watcher:
+            def before_dispatch(self, topic, callback, message):
+                calls.append(topic)
+
+        watcher = Watcher()
+        executor.add_observer(watcher)
+        executor.add_observer(watcher)  # idempotent
+        executor.subscribe("/a", lambda m: None)
+        executor.publish("/a", None, frame_id="src")
+        executor.spin()
+        executor.remove_observer(watcher)
+        executor.remove_observer(watcher)  # tolerated
+        executor.publish("/a", None, frame_id="src")
+        executor.spin()
+        assert calls == ["/a"]
 
 
 class TestLatencyLedger:

@@ -1,0 +1,86 @@
+"""The logging discipline: one root logger, env knob, no stale streams."""
+
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    LOG_LEVEL_ENV,
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+    level_from_env,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_handlers():
+    """Strip any CLI handler installed by a test so tests stay independent."""
+    yield
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+
+
+class TestGetLogger:
+    def test_bare_name_nests_under_root(self):
+        assert get_logger("report").name == "repro.report"
+
+    def test_prefixed_name_passes_through(self):
+        assert get_logger("repro.obs.tap").name == "repro.obs.tap"
+
+    def test_empty_name_is_the_root(self):
+        assert get_logger().name == ROOT_LOGGER_NAME
+
+    def test_root_has_null_handler(self):
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestLevelFromEnv:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(LOG_LEVEL_ENV, raising=False)
+        assert level_from_env() == logging.INFO
+
+    def test_level_name(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "debug")
+        assert level_from_env() == logging.DEBUG
+
+    def test_numeric_level(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "40")
+        assert level_from_env() == logging.ERROR
+
+    def test_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "LOUD")
+        assert level_from_env() == logging.INFO
+
+
+class TestConfigureLogging:
+    def test_output_lands_on_current_stdout(self, capsys):
+        configure_logging(level=logging.INFO)
+        get_logger("test").info("hello from the obs logger")
+        assert "hello from the obs logger" in capsys.readouterr().out
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        configure_logging()
+        configure_logging()
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        marked = [
+            h for h in root.handlers if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(marked) == 1
+
+    def test_env_knob_controls_level(self, monkeypatch, capsys):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "WARNING")
+        configure_logging()
+        log = get_logger("test")
+        log.info("quiet")
+        log.warning("loud")
+        out = capsys.readouterr().out
+        assert "quiet" not in out
+        assert "loud" in out
+
+    def test_library_is_silent_without_configuration(self, capsys):
+        get_logger("test").info("library message")
+        assert capsys.readouterr().out == ""

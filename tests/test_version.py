@@ -1,0 +1,27 @@
+"""The package version and pyproject.toml must agree."""
+
+import re
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+
+def _pyproject_version() -> str:
+    text = PYPROJECT.read_text(encoding="utf-8")
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11
+        match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+        assert match, "no version field in pyproject.toml"
+        return match.group(1)
+    return tomllib.loads(text)["project"]["version"]
+
+
+def test_version_matches_pyproject():
+    assert repro.__version__ == _pyproject_version()
+
+
+def test_version_is_semver_shaped():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
