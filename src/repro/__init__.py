@@ -60,7 +60,12 @@ from repro.obs import (
     configure_logging,
     get_logger,
 )
-from repro.simulation.campaign import CampaignResult, CampaignRunner, ScenarioOutcome
+from repro.simulation.campaign import (
+    CAMPAIGN_MODES,
+    CampaignResult,
+    CampaignRunner,
+    ScenarioOutcome,
+)
 from repro.simulation.faults import (
     CameraDegradation,
     CommsDropout,
@@ -92,9 +97,10 @@ from repro.worlds import (
     register_archetype,
 )
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 __all__ = [
+    "CAMPAIGN_MODES",
     "CameraDegradation",
     "CampaignReport",
     "CampaignResult",

@@ -142,6 +142,28 @@ def clear_traces(directory: PathLike) -> int:
     return len(stale)
 
 
+def is_complete_trace(path: PathLike) -> bool:
+    """True when a trace file exists, parses cleanly and ended well.
+
+    This is the ``--resume`` probe: a campaign restarted into the same trace
+    directory skips every spec whose file passes it.  "Ended well" means the
+    final record is the mission's :class:`MissionRecord` with no error — a
+    file that stops mid-stream (crashed worker), holds an unparseable line
+    (torn write) or ends in an error record is *not* complete, so resuming
+    re-flies exactly the specs that never finished.
+    """
+    source = Path(path)
+    if not source.is_file():
+        return False
+    last: Optional[TraceRecord] = None
+    try:
+        for record in TraceReader(source):
+            last = record
+    except Exception:  # noqa: BLE001 - any parse failure means "rerun it"
+        return False
+    return isinstance(last, MissionRecord) and last.error is None
+
+
 def read_traces(
     paths: Sequence[PathLike],
 ) -> Tuple[List[DecisionRecord], List[MissionRecord]]:

@@ -5,7 +5,10 @@ which decision epoch the mission is on, how much wall clock it has burned,
 how big its process has grown.  The heartbeat path ships that knowledge out:
 each worker emits :class:`HeartbeatRecord` rows (start → running… → done or
 error) over a ``multiprocessing`` queue; the parent drains the queue into
-``<telemetry_dir>/heartbeats.jsonl`` and a live progress line.
+``<telemetry_dir>/heartbeats.jsonl`` and a live progress line.  The async
+campaign engine adds two parent-synthesised statuses — ``timeout`` when it
+kills an over-budget worker and ``retry`` when it requeues a spec whose
+worker died — see :data:`HEARTBEAT_STATUSES`.
 
 The emitter doubles as a pipeline tap (``on_decision_end`` throttled to one
 record per ``min_interval_s`` of wall clock), so per-epoch progress costs a
@@ -33,6 +36,12 @@ PathLike = Union[str, Path]
 #: File name of the heartbeat JSONL inside a telemetry directory.
 HEARTBEAT_FILE = "heartbeats.jsonl"
 
+#: Every status a heartbeat record can carry.  ``start`` / ``running`` /
+#: ``done`` / ``error`` come from the worker itself; ``timeout`` and
+#: ``retry`` are synthesised by the async campaign parent when it kills an
+#: over-budget worker or requeues a spec whose worker died.
+HEARTBEAT_STATUSES = ("start", "running", "done", "error", "timeout", "retry")
+
 try:  # pragma: no cover - resource is stdlib on POSIX, absent on Windows
     import resource
 except ImportError:  # pragma: no cover
@@ -58,7 +67,9 @@ class HeartbeatRecord:
 
     Attributes:
         spec: the scenario spec name the worker is running.
-        status: ``start`` | ``running`` | ``done`` | ``error``.
+        status: one of :data:`HEARTBEAT_STATUSES` — ``start`` | ``running``
+            | ``done`` | ``error`` from workers, ``timeout`` | ``retry``
+            from the async campaign parent.
         seq: per-spec record sequence number (0 for ``start``).
         epoch: last completed decision epoch (-1 before the first).
         decisions: decision cascades completed so far (fleet missions count
@@ -185,6 +196,22 @@ def write_heartbeats(records: Iterable[Dict[str, Any]], path: PathLike) -> Path:
     return destination
 
 
+def clear_heartbeats(path: PathLike) -> bool:
+    """Delete a heartbeat JSONL file if it exists; True when one was removed.
+
+    :meth:`~repro.simulation.campaign.CampaignRunner.run` sweeps the
+    heartbeat file through this before flying: :func:`write_heartbeats`
+    appends, so without the sweep a campaign re-run into the same
+    ``telemetry_dir`` would accumulate the previous run's records and
+    :func:`runtime_summary` would report stale totals.
+    """
+    target = Path(path)
+    if target.is_file():
+        target.unlink()
+        return True
+    return False
+
+
 def read_heartbeats(path: PathLike) -> List[HeartbeatRecord]:
     """Parse a heartbeat JSONL file; missing file → empty list."""
     source = Path(path)
@@ -204,14 +231,17 @@ def runtime_summary(
     """Fold heartbeats into one runtime row per spec.
 
     Returns ``spec -> {status, wall_time_s, decisions, decisions_per_sec,
-    peak_rss_mb}`` using each spec's last record (heartbeats are cumulative,
-    so the last one carries the totals).
+    peak_rss_mb}`` using each spec's last record *in iteration order*
+    (heartbeat files are written in arrival order and records are
+    cumulative, so the last one carries the totals).  Arrival order — not
+    ``seq`` — is the tiebreak because a spec retried by the async engine
+    starts a fresh emitter whose sequence numbers restart at 0: the retry
+    attempt's ``done`` must win over the dead attempt's higher-``seq``
+    ``running`` record.
     """
     last: Dict[str, HeartbeatRecord] = {}
     for record in records:
-        current = last.get(record.spec)
-        if current is None or record.seq >= current.seq:
-            last[record.spec] = record
+        last[record.spec] = record
     summary: Dict[str, Dict[str, Any]] = {}
     for spec, record in last.items():
         wall = record.wall_elapsed_s

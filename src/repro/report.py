@@ -18,6 +18,10 @@ Usage::
     python -m repro.report --grid examples/grid_small.json \
         --workers 4 --csv-dir reports/csv --out reports/small.md
 
+    # Async work-stealing execution with retry/timeout, resumable
+    python -m repro.report --grid big_grid.json --mode async \
+        --spec-timeout 300 --max-attempts 3 --resume
+
 Grid files take one of three JSON shapes:
 
 * ``{"grid": {...}}`` — keyword arguments for
@@ -127,6 +131,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign pool size (default: one per core; 1 = serial)",
     )
     parser.add_argument(
+        "--mode",
+        choices=["serial", "sync", "async"],
+        default=None,
+        help=(
+            "campaign execution mode: serial (inline), sync (Pool.map "
+            "barrier) or async (persistent work-stealing workers with "
+            "retry/timeout); default: $REPRO_CAMPAIGN_MODE or sync"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip specs whose trace files already exist in the trace "
+            "directory and parse cleanly to a completed mission (grid runs "
+            "only); everything else is re-flown"
+        ),
+    )
+    parser.add_argument(
+        "--spec-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "async mode: per-spec wall-clock budget; an over-budget worker "
+            "is killed and the spec retried (default: no timeout)"
+        ),
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help=(
+            "async mode: dispatch attempts per spec before it is excluded "
+            "as poisoned and reported as an error (default: 3)"
+        ),
+    )
+    parser.add_argument(
         "--title",
         default=None,
         help="report title (default derived from the grid / trace directory name)",
@@ -193,7 +235,10 @@ class _ProgressLine:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     configure_logging()
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.resume and args.grid is None:
+        parser.error("--resume only applies to --grid runs")
 
     if args.grid is not None:
         stem = args.grid.stem
@@ -206,12 +251,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not args.no_telemetry:
             telemetry_dir = args.telemetry_dir or trace_dir / "telemetry"
             progress = _ProgressLine(len(specs))
+        runner = CampaignRunner(
+            max_workers=args.workers,
+            mode=args.mode,
+            spec_timeout_s=args.spec_timeout,
+            max_attempts=args.max_attempts,
+        )
         try:
-            campaign = CampaignRunner(max_workers=args.workers).run(
+            campaign = runner.run(
                 specs,
                 trace_dir=trace_dir,
                 telemetry_dir=telemetry_dir,
                 progress=progress,
+                resume=args.resume,
             )
         finally:
             if progress is not None:

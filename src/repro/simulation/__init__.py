@@ -15,8 +15,11 @@ simulated-clock decision pipeline built on the in-process middleware:
   metric assembly.
 * :mod:`repro.simulation.scenario` / :mod:`repro.simulation.campaign` — the
   declarative scenario layer: serialisable :class:`ScenarioSpec`s (with fault
-  injection from :mod:`repro.simulation.faults`) fanned across a process
-  pool by :class:`CampaignRunner` into an aggregated :class:`CampaignResult`.
+  injection from :mod:`repro.simulation.faults`) fanned across worker
+  processes by :class:`CampaignRunner` into an aggregated
+  :class:`CampaignResult`; :mod:`repro.simulation.async_runner` is the
+  persistent work-stealing engine behind ``mode="async"`` (per-spec
+  timeouts, bounded retry, poisoned-spec exclusion).
 * :mod:`repro.simulation.faults` / :mod:`repro.simulation.orchestrator` —
   the open fault library (registered fault classes acting at the sense
   boundary, the bus hops, the compute platform and the world's movers) and
@@ -25,7 +28,12 @@ simulated-clock decision pipeline built on the in-process middleware:
   seed.
 """
 
-from repro.simulation.campaign import CampaignResult, CampaignRunner, ScenarioOutcome
+from repro.simulation.campaign import (
+    CAMPAIGN_MODES,
+    CampaignResult,
+    CampaignRunner,
+    ScenarioOutcome,
+)
 from repro.simulation.faults import (
     CameraDegradation,
     CommsDropout,
@@ -58,6 +66,7 @@ from repro.simulation.pipeline import (
 from repro.simulation.scenario import ScenarioSpec, scenario_grid
 
 __all__ = [
+    "CAMPAIGN_MODES",
     "CameraDegradation",
     "CampaignResult",
     "CampaignRunner",

@@ -1,16 +1,27 @@
-"""Campaigns: many scenarios, one process pool, one aggregated result.
+"""Campaigns: many scenarios, one worker fleet, one aggregated result.
 
 The paper's evaluation flies 27 environments per design; the ROADMAP's north
 star is "as many scenarios as you can imagine".  A :class:`CampaignRunner`
-fans a list of :class:`~repro.simulation.scenario.ScenarioSpec`s across a
-``multiprocessing`` pool — one worker per mission, following the synchronous
-fan-out/fan-in parallelism GenTen-style sweep drivers use — and folds the
-per-mission metrics into a :class:`CampaignResult`.
+fans a list of :class:`~repro.simulation.scenario.ScenarioSpec`s across
+worker processes and folds the per-mission metrics into a
+:class:`CampaignResult`.  Three execution modes share the one ``run()``
+API (selected by ``mode=`` or the ``REPRO_CAMPAIGN_MODE`` environment
+variable):
+
+* ``serial`` — every spec inline in this process (debugging, determinism
+  checks);
+* ``sync`` — a ``multiprocessing.Pool.map`` barrier, the synchronous
+  fan-out/fan-in parallelism GenTen-style sweep drivers use (the default);
+* ``async`` — persistent work-stealing workers pulling specs from a shared
+  queue and streaming rows back as they finish
+  (:mod:`repro.simulation.async_runner`), with per-spec wall-clock
+  timeouts, bounded retry for specs whose worker died, and poisoned-spec
+  exclusion.
 
 Determinism: specs carry their own seeds, workers receive plain dictionaries
 (no shared state), and results are collected in spec order regardless of
-which worker finishes first, so a campaign's aggregate is identical whether
-it runs serially or across any number of workers.
+which worker finishes first, so a campaign's aggregate — and every per-spec
+JSONL trace — is identical whichever mode runs it.
 """
 
 from __future__ import annotations
@@ -27,6 +38,13 @@ from repro.simulation.mission import MissionResult
 from repro.simulation.scenario import ScenarioSpec
 
 
+#: The execution modes :class:`CampaignRunner` understands.
+CAMPAIGN_MODES = ("serial", "sync", "async")
+
+#: Environment variable consulted when no explicit ``mode=`` is given.
+CAMPAIGN_MODE_ENV = "REPRO_CAMPAIGN_MODE"
+
+
 def _error_record(spec_dict: Dict[str, Any], exc: BaseException) -> Dict[str, str]:
     """The per-spec failure description shipped back to the campaign parent."""
     return {
@@ -35,6 +53,52 @@ def _error_record(spec_dict: Dict[str, Any], exc: BaseException) -> Dict[str, st
         "traceback": _traceback.format_exc(),
         "spec_json": json.dumps(spec_dict, sort_keys=True),
     }
+
+
+def write_error_trace(
+    trace_dir: Any, spec_dict: Dict[str, Any], error: Dict[str, str]
+) -> None:
+    """Replace a spec's trace file with a single error mission record.
+
+    Workers write their own error records when the spec *raises*; this is
+    the parent-side twin for specs whose worker never got to — crashed
+    processes and killed-on-timeout workers leave a partial (or absent)
+    trace file, which this overwrites so the report still shows the spec in
+    its partial-failures section.
+    """
+    from repro.analysis.io import TraceWriter, trace_path
+    from repro.analysis.trace import MissionRecord
+
+    environment = dict(spec_dict.get("environment", {}))
+    with TraceWriter(trace_path(trace_dir, str(spec_dict.get("name", "unnamed")))) as writer:
+        writer.write(
+            MissionRecord(
+                spec_name=spec_dict.get("name", "?"),
+                design=spec_dict.get("design", "?"),
+                seed=int(environment.get("seed", 0)),
+                environment=environment,
+                metrics={},
+                error=error,
+                spec=spec_dict,
+            )
+        )
+
+
+def _row_from_trace(path: Any, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Rebuild a worker result row from a completed spec's trace file.
+
+    ``--resume`` skips specs whose traces pass
+    :func:`repro.analysis.io.is_complete_trace`; their outcomes are
+    reconstructed from the mission record already on disk instead of being
+    re-flown, so the aggregate still covers every spec in spec order.
+    """
+    from repro.analysis.io import TraceReader
+
+    mission = None
+    for record in TraceReader(path):
+        mission = record
+    # The probe guaranteed the file ends with an error-free MissionRecord.
+    return {"spec": spec_dict, "metrics": dict(mission.metrics)}
 
 
 #: Worker-side heartbeat sink.  ``None`` (the default) means telemetry is
@@ -48,6 +112,11 @@ def _telemetry_initializer(queue: Any) -> None:
     """Pool initializer: point this worker's heartbeats at the parent queue."""
     global _worker_telemetry_sink
     _worker_telemetry_sink = queue
+
+
+#: Queue marker the sync pool's completion callback emits so the parent's
+#: heartbeat drain can block on the queue instead of busy-polling the map.
+_DRAIN_SENTINEL = {"__campaign__": "drain-stop"}
 
 
 def _run_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -218,11 +287,29 @@ class CampaignResult:
         return sum(1 for o in selected if o.success) / len(selected)
 
     def mean_metric(self, key: str, design: Optional[str] = None) -> float:
-        """Mean of one mission metric over the missions that actually flew."""
-        selected = [o for o in self._select(design) if o.ok]
-        if not selected:
+        """Mean of one mission metric over the missions that carry it.
+
+        Campaigns can mix outcomes with heterogeneous metric dictionaries
+        (a fleet-only metric is absent from single-drone missions), so the
+        mean is taken over exactly the outcomes where the key is present —
+        the honest denominator, exposed as :meth:`metric_count` — rather
+        than raising ``KeyError`` on the first outcome without it.  Returns
+        0.0 when no outcome carries the key.
+        """
+        values = [
+            (o.metrics or {})[key]
+            for o in self._select(design)
+            if o.ok and key in (o.metrics or {})
+        ]
+        if not values:
             return 0.0
-        return sum(o.metrics[key] for o in selected) / len(selected)
+        return sum(values) / len(values)
+
+    def metric_count(self, key: str, design: Optional[str] = None) -> int:
+        """How many outcomes :meth:`mean_metric` averaged for this key."""
+        return sum(
+            1 for o in self._select(design) if o.ok and key in (o.metrics or {})
+        )
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         """Per-design mission-level summary (the Figure 7 quantities)."""
@@ -257,19 +344,55 @@ class CampaignResult:
 
 
 class CampaignRunner:
-    """Fans scenario specs across a process pool and aggregates the metrics.
+    """Fans scenario specs across worker processes and aggregates the metrics.
 
     Attributes:
-        max_workers: pool size; ``None`` sizes the pool to the machine
+        max_workers: worker count; ``None`` sizes the fleet to the machine
             (capped by the campaign size), while 0 or 1 runs serially in
             process — useful for debugging and for determinism checks
             against a parallel run.
+        mode: one of :data:`CAMPAIGN_MODES` — ``serial`` forces the inline
+            path, ``sync`` is the classic ``Pool.map`` barrier, ``async``
+            is the persistent work-stealing engine
+            (:mod:`repro.simulation.async_runner`).  ``None`` reads
+            ``REPRO_CAMPAIGN_MODE`` and falls back to ``sync``.
+        spec_timeout_s: async mode only — wall-clock budget per spec
+            attempt; a worker over budget is killed and the spec retried.
+            ``None`` (the default) disables the timeout.
+        max_attempts: async mode only — dispatch attempts per spec before
+            it is excluded as poisoned and surfaced as an error outcome.
+        retry_backoff_s: async mode only — base of the exponential backoff
+            (``base * 2**(attempt-1)``) between attempts of one spec.
     """
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        mode: Optional[str] = None,
+        spec_timeout_s: Optional[float] = None,
+        max_attempts: int = 3,
+        retry_backoff_s: float = 0.1,
+    ) -> None:
         if max_workers is not None and max_workers < 0:
             raise ValueError("max_workers cannot be negative")
+        if mode is None:
+            mode = os.environ.get(CAMPAIGN_MODE_ENV) or "sync"
+        mode = mode.lower()
+        if mode not in CAMPAIGN_MODES:
+            raise ValueError(
+                f"unknown campaign mode {mode!r}; choose from {CAMPAIGN_MODES}"
+            )
+        if spec_timeout_s is not None and spec_timeout_s <= 0:
+            raise ValueError("spec_timeout_s must be positive (or None)")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s cannot be negative")
         self.max_workers = max_workers
+        self.mode = mode
+        self.spec_timeout_s = spec_timeout_s
+        self.max_attempts = max_attempts
+        self.retry_backoff_s = retry_backoff_s
 
     def _pool_size(self, job_count: int) -> int:
         if self.max_workers is not None:
@@ -283,6 +406,7 @@ class CampaignRunner:
         trace_dir: Optional[Any] = None,
         telemetry_dir: Optional[Any] = None,
         progress: Optional[Any] = None,
+        resume: bool = False,
     ) -> CampaignResult:
         """Fly every scenario and fold the outcomes, in spec order.
 
@@ -312,14 +436,32 @@ class CampaignRunner:
                 heartbeat dictionary as it arrives (live progress lines).
                 Supplying only ``progress`` enables telemetry without
                 writing a file.
+            resume: skip every spec whose trace file already exists in
+                ``trace_dir`` and parses cleanly to a completed mission
+                (:func:`repro.analysis.io.is_complete_trace`); their
+                outcomes are rebuilt from the traces on disk, only the
+                remaining specs are flown, and stale files belonging to no
+                completed spec are still swept.  Requires ``trace_dir``;
+                skipped specs never carry a live ``result`` even under
+                ``keep_results=True``.
         """
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
             raise ValueError("scenario names within a campaign must be unique")
+        if resume and trace_dir is None:
+            raise ValueError("resume=True requires a trace_dir")
+        spec_dicts = [spec.to_dict() for spec in specs]
+        resumed_rows: Dict[int, Dict[str, Any]] = {}
         if trace_dir is not None:
-            from repro.analysis.io import clear_traces, trace_path
+            from repro.analysis.io import (
+                clear_traces,
+                is_complete_trace,
+                list_trace_files,
+                trace_path,
+            )
 
-            stems = [trace_path(trace_dir, name).name for name in names]
+            paths = [trace_path(trace_dir, name) for name in names]
+            stems = [path.name for path in paths]
             if len(set(stems)) != len(stems):
                 # Distinct names can collide once path separators are
                 # flattened ("a/b" and "a_b" share a trace file).
@@ -328,23 +470,49 @@ class CampaignRunner:
                     "specs so their sanitised names are unique"
                 )
             Path(trace_dir).mkdir(parents=True, exist_ok=True)
-            clear_traces(trace_dir)
+            if resume:
+                for index, path in enumerate(paths):
+                    if is_complete_trace(path):
+                        resumed_rows[index] = _row_from_trace(
+                            path, spec_dicts[index]
+                        )
+                kept = {paths[index] for index in resumed_rows}
+                # Sweep everything that is not a completed trace of this
+                # campaign: other campaigns' files, partial traces, error
+                # records — exactly what clear_traces does on a cold run.
+                for stale in list_trace_files(trace_dir):
+                    if stale not in kept:
+                        stale.unlink()
+            else:
+                clear_traces(trace_dir)
         telemetry = telemetry_dir is not None or progress is not None
+        if telemetry_dir is not None:
+            from repro.obs.heartbeat import HEARTBEAT_FILE, clear_heartbeats
+
+            # write_heartbeats appends; without this sweep a campaign re-run
+            # into the same telemetry_dir would fold the previous run's
+            # records into runtime_summary.
+            clear_heartbeats(Path(telemetry_dir) / HEARTBEAT_FILE)
+        pending = [i for i in range(len(specs)) if i not in resumed_rows]
         payloads = [
             {
-                "spec": spec.to_dict(),
+                "spec": spec_dicts[i],
                 "keep_results": keep_results,
                 "trace_dir": str(trace_dir) if trace_dir is not None else None,
                 "telemetry": telemetry,
             }
-            for spec in specs
+            for i in pending
         ]
-        workers = self._pool_size(len(payloads))
+        workers = 1 if self.mode == "serial" else self._pool_size(len(payloads))
         heartbeats: List[Dict[str, Any]] = []
         if workers <= 1 or len(payloads) <= 1:
-            rows = self._run_serial(payloads, telemetry, progress, heartbeats)
+            flown = self._run_serial(payloads, telemetry, progress, heartbeats)
+        elif self.mode == "async":
+            flown = self._run_async(
+                payloads, workers, telemetry, progress, heartbeats
+            )
         else:
-            rows = self._run_pool(
+            flown = self._run_pool(
                 payloads, workers, telemetry, progress, heartbeats
             )
 
@@ -355,14 +523,16 @@ class CampaignRunner:
                 heartbeats, Path(telemetry_dir) / HEARTBEAT_FILE
             )
 
+        rows = dict(resumed_rows)
+        rows.update(zip(pending, flown))
         outcomes = [
             ScenarioOutcome(
                 spec=spec,
-                metrics=row.get("metrics"),
-                result=row.get("result"),
-                error=row.get("error"),
+                metrics=rows[i].get("metrics"),
+                result=rows[i].get("result"),
+                error=rows[i].get("error"),
             )
-            for spec, row in zip(specs, rows)
+            for i, spec in enumerate(specs)
         ]
         return CampaignResult(
             outcomes=outcomes,
@@ -415,12 +585,53 @@ class CampaignRunner:
                 initializer=_telemetry_initializer,
                 initargs=(queue,),
             ) as pool:
-                pending = pool.map_async(_run_payload, payloads)
+                # The map's completion callback drops a sentinel onto the
+                # heartbeat queue, so the parent blocks on one queue instead
+                # of busy-polling pending.ready() every 100 ms; the 1 s
+                # fallback timeout only matters if the callback is lost
+                # (e.g. the pool broke before it could fire).
+                pending = pool.map_async(
+                    _run_payload,
+                    payloads,
+                    callback=lambda _: queue.put(_DRAIN_SENTINEL),
+                    error_callback=lambda _: queue.put(_DRAIN_SENTINEL),
+                )
+                import queue as _queue_mod
+
                 while not pending.ready():
-                    self._drain_queue(queue, heartbeats, progress, timeout=0.1)
+                    try:
+                        record = queue.get(block=True, timeout=1.0)
+                    except _queue_mod.Empty:
+                        continue
+                    if record == _DRAIN_SENTINEL:
+                        break
+                    heartbeats.append(record)
+                    if progress is not None:
+                        progress(record)
                 rows = pending.get()
             self._drain_queue(queue, heartbeats, progress, timeout=None)
         return rows
+
+    def _run_async(
+        self,
+        payloads: List[Dict[str, Any]],
+        workers: int,
+        telemetry: bool,
+        progress: Optional[Any],
+        heartbeats: List[Dict[str, Any]],
+    ) -> List[Dict[str, Any]]:
+        """Run payloads on the persistent work-stealing engine."""
+        from repro.simulation.async_runner import AsyncCampaignEngine
+
+        engine = AsyncCampaignEngine(
+            workers,
+            spec_timeout_s=self.spec_timeout_s,
+            max_attempts=self.max_attempts,
+            retry_backoff_s=self.retry_backoff_s,
+        )
+        return engine.run(
+            payloads, telemetry=telemetry, progress=progress, heartbeats=heartbeats
+        )
 
     @staticmethod
     def _drain_queue(
@@ -443,6 +654,10 @@ class CampaignRunner:
             except _queue_mod.Empty:
                 return
             block = False
+            if record == _DRAIN_SENTINEL:
+                # The map's completion callback can race the ready() check;
+                # a leftover sentinel is drain plumbing, not telemetry.
+                continue
             heartbeats.append(record)
             if progress is not None:
                 progress(record)

@@ -92,6 +92,19 @@ class TestHeartbeatPrimitives:
         assert summary["b"]["status"] == "error"
         assert summary["b"]["error"] == "ValueError: boom"
 
+    def test_runtime_summary_prefers_arrival_order_over_seq(self):
+        # An async retry restarts the emitter: the dead attempt got further
+        # (higher seq) than the successful retry, but the retry's 'done'
+        # arrived later and must win.
+        records = [
+            HeartbeatRecord("a", "running", 8, 30, 31, 9.0, 15.0, 1),
+            HeartbeatRecord("a", "retry", 0, -1, 0, 9.5, 0.0, 99),
+            HeartbeatRecord("a", "done", 2, 9, 10, 4.0, 12.0, 2),
+        ]
+        summary = runtime_summary(records)
+        assert summary["a"]["status"] == "done"
+        assert summary["a"]["decisions"] == 10
+
 
 class TestCampaignTelemetry:
     def test_serial_campaign_writes_heartbeat_file(self, tmp_path):
@@ -134,6 +147,29 @@ class TestCampaignTelemetry:
             assert (plain_dir / name).read_bytes() == (
                 tele_dir / name
             ).read_bytes(), f"telemetry perturbed trace {name}"
+
+    def test_rerun_into_same_telemetry_dir_replaces_heartbeats(self, tmp_path):
+        """Regression: write_heartbeats appends, so without the campaign-start
+        sweep a re-run would accumulate the previous run's records and
+        runtime_summary would report stale totals."""
+        specs = _specs()
+        telemetry_dir = tmp_path / "telemetry"
+        CampaignRunner(max_workers=1).run(specs, telemetry_dir=telemetry_dir)
+        first = read_heartbeats(telemetry_dir / HEARTBEAT_FILE)
+        CampaignRunner(max_workers=1).run(specs, telemetry_dir=telemetry_dir)
+        second = read_heartbeats(telemetry_dir / HEARTBEAT_FILE)
+        assert len(second) == len(first)  # not len(first) + len(second run)
+        summary = runtime_summary(second)
+        assert set(summary) == {s.name for s in specs}
+
+    def test_pool_drain_sentinel_never_reaches_the_heartbeat_file(self, tmp_path):
+        specs = _specs()
+        telemetry_dir = tmp_path / "telemetry"
+        CampaignRunner(max_workers=2).run(specs, telemetry_dir=telemetry_dir)
+        for record in read_heartbeats(telemetry_dir / HEARTBEAT_FILE):
+            assert record.status in (
+                "start", "running", "done", "error", "timeout", "retry"
+            )
 
     def test_no_telemetry_by_default(self, tmp_path):
         CampaignRunner(max_workers=1).run(_specs(1), trace_dir=tmp_path)
